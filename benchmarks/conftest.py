@@ -1,0 +1,15 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (small/medium/large/paper);
+every benchmark archives its structured rows as JSON under ``results/``
+and prints the paper-figure table (visible with ``pytest -s``).
+"""
+
+import pytest
+
+from repro.bench.config import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()

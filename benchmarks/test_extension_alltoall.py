@@ -1,0 +1,26 @@
+"""Extension bench — distance-halving neighborhood alltoall (Section VIII).
+
+Not a paper figure: the paper lists alltoall as future work.  This bench
+pins the extension's expected physics so regressions in the shared halving
+machinery are caught from the alltoall side too.
+"""
+
+from repro.bench.figures import ext_alltoall
+
+
+def test_extension_alltoall(benchmark, scale):
+    payload = benchmark.pedantic(lambda: ext_alltoall(scale), rounds=1, iterations=1)
+    rows = payload["rows"]
+
+    small = [r for r in rows if r["msg_size"] == 64]
+    dense_small = [r for r in small if r["density"] >= 0.3]
+    # Message-count reduction carries over from allgather...
+    assert all(r["dh_messages"] < r["naive_messages"] for r in dense_small)
+    # ...and wins clearly in the latency-bound regime.
+    assert all(r["speedup"] > 2.0 for r in dense_small)
+
+    # Bandwidth-bound: forwarding re-pays distinct bytes, so no collapse but
+    # no miracle either.
+    medium = [r for r in rows if r["msg_size"] == 4096]
+    assert all(r["speedup"] > 0.5 for r in medium)
+    assert all(r["dh_bytes"] >= r["naive_bytes"] for r in medium)

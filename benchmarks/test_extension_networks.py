@@ -1,0 +1,24 @@
+"""Extension bench — DH's benefit across network topologies (Section IV).
+
+The paper argues the distant-rank bottleneck is not Dragonfly-specific:
+tapered fat trees and tori have low bisection bandwidth too.  This bench
+runs the same Random Sparse Graph workload on all three network models and
+pins the claim that Distance Halving wins on every one of them.
+"""
+
+from repro.bench.figures import ext_network_sensitivity
+
+
+def test_extension_network_sensitivity(benchmark, scale):
+    payload = benchmark.pedantic(
+        lambda: ext_network_sensitivity(scale), rounds=1, iterations=1
+    )
+    rows = payload["rows"]
+    networks = {r["network"] for r in rows}
+    assert networks == {"dragonfly+", "fat-tree", "torus"}
+
+    # DH wins on every network at both message sizes.
+    assert all(r["speedup"] > 1.0 for r in rows)
+    # And decisively for small messages everywhere.
+    small = [r for r in rows if r["msg_size"] == 64]
+    assert all(r["speedup"] > 2.0 for r in small)

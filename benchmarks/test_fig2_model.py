@@ -1,0 +1,27 @@
+"""Fig. 2 — performance model: Distance Halving vs naive at paper scale.
+
+Regenerates the model grid of the paper's Fig. 2 (densities 0.05-0.7 x
+message sizes 8B-4MB at n=2000, S=2, L=20) with alpha/beta fitted from a
+simulated ping-pong, and checks the figure's headline shape: DH wins by an
+order of magnitude for small messages on dense graphs, and the advantage
+shrinks (eventually inverts) as messages grow.
+"""
+
+from repro.bench.figures import fig2_model
+
+
+def test_fig2_model(benchmark, scale):
+    payload = benchmark.pedantic(lambda: fig2_model(scale), rounds=1, iterations=1)
+    rows = payload["rows"]
+    by_cell = {(r["density"], r["msg_size"]): r["speedup"] for r in rows}
+
+    # Dense graph, small message: model predicts a large DH win.
+    assert by_cell[(0.7, 8)] > 10.0
+    # Advantage shrinks monotonically in message size for every density.
+    for density in (0.05, 0.3, 0.7):
+        sizes = sorted(s for d, s in by_cell if d == density)
+        speedups = [by_cell[(density, s)] for s in sizes]
+        assert speedups[0] == max(speedups)
+        assert speedups[-1] < speedups[0] / 2
+    # Denser graphs benefit more at a fixed small size.
+    assert by_cell[(0.7, 8)] > by_cell[(0.05, 8)]

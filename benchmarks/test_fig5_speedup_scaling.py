@@ -1,0 +1,35 @@
+"""Fig. 5 — speedup scaling of DH and Common Neighbor over the default.
+
+Paper shape: speedups grow with density (peaking for small messages on the
+densest graphs), DH beats best-K CN in most cells, per-density *average*
+speedups over all sizes rise from ~1.25x (δ=0.05) to ~8x (δ=0.7), and the
+agent-selection success rate at δ=0.05 is high (~80%).
+"""
+
+from repro.bench.figures import fig5_speedup_scaling
+
+
+def test_fig5_speedup_scaling(benchmark, scale):
+    payload = benchmark.pedantic(
+        lambda: fig5_speedup_scaling(scale), rounds=1, iterations=1
+    )
+    summary = payload["summary"]
+    largest = max(r["ranks"] for r in summary)
+    by_density = {r["density"]: r for r in summary if r["ranks"] == largest}
+
+    # Average speedup over naive grows with density and exceeds 1 everywhere.
+    assert by_density[0.05]["dh_avg_speedup"] > 1.0
+    assert by_density[0.7]["dh_avg_speedup"] > by_density[0.05]["dh_avg_speedup"]
+    assert by_density[0.7]["dh_avg_speedup"] > 2.0
+
+    # DH beats the best-K Common Neighbor on dense graphs.
+    assert by_density[0.7]["dh_avg_speedup"] > by_density[0.7]["cn_avg_speedup"]
+
+    # §VII-A: high agent-selection success rate even on the sparsest graph.
+    assert by_density[0.05]["agent_success_rate"] > 0.5
+
+    # Peak speedup lives in the small-message, dense, largest-scale corner.
+    rows = payload["rows"]
+    peak = max(rows, key=lambda r: r["dh_speedup"])
+    assert peak["density"] >= 0.3
+    assert peak["msg_size"] <= 4096

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Explore the paper's analytic performance model (Section V / Fig. 2).
+
+Reproduces the Section V-A message-count example (a 2000-core cluster with
+δ=0.3 sends ~23-27 messages per rank under Distance Halving vs 600 naive)
+and prints the Fig. 2 speedup grid with alpha/beta fitted from a simulated
+ping-pong, including the per-density crossover message size — the point
+where the model says the naive algorithm catches up.
+
+Run:  python examples/model_explorer.py
+"""
+
+from repro import Machine
+from repro.bench.reporting import format_table
+from repro.cluster.calibration import calibrate
+from repro.model import ModelParams, model_grid
+from repro.model.equations import (
+    dh_messages,
+    expected_intra_messages,
+    expected_off_socket_messages,
+    naive_messages,
+)
+from repro.utils.sizes import format_size
+
+
+def main() -> None:
+    machine = Machine.niagara_like(nodes=8, ranks_per_socket=8)
+    fit = calibrate(machine)
+    print(
+        f"ping-pong fit on {machine.describe()}:\n"
+        f"  alpha = {fit.alpha * 1e6:.2f} us,  beta = {fit.beta / 1e9:.1f} GB/s\n"
+    )
+
+    # Section V-A worked example at the paper's scale.
+    params = ModelParams(n=2000, sockets=2, ranks_per_socket=20,
+                         alpha=fit.alpha, beta=fit.beta)
+    delta = 0.3
+    print(
+        f"Section V-A example (n=2000, L=20, delta={delta}):\n"
+        f"  off-socket messages per rank : {float(expected_off_socket_messages(params, delta)):.1f}\n"
+        f"  intra-socket messages per rank: {float(expected_intra_messages(params, delta)):.1f}\n"
+        f"  Distance Halving total        : {float(dh_messages(params, delta)):.1f}\n"
+        f"  naive total                   : {float(naive_messages(params, delta)):.0f}\n"
+    )
+
+    grid = model_grid(params)
+    rows = []
+    for i, density in enumerate(grid.densities):
+        cross = grid.crossover_size(density)
+        rows.append(
+            (
+                density,
+                f"{grid.speedup[i].max():.1f}x",
+                f"{grid.speedup[i].min():.2f}x",
+                format_size(cross) if cross else "never wins",
+            )
+        )
+    print(
+        format_table(
+            ["density", "best speedup", "worst", "DH wins up to"],
+            rows,
+            title="Fig. 2 model grid — predicted DH vs naive (paper scale)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Moore-neighborhood stencil application (a Fig. 6-style workload).
+
+Each rank owns a tile of a 2D field.  Every iteration it exchanges its
+whole tile with all ranks within Chebyshev distance ``r`` on the process
+grid (a Moore neighborhood — the halo pattern of wide-stencil codes), then
+relaxes its tile toward the neighborhood mean.  The exchange runs through
+``MPI_Neighbor_allgather`` on the simulator with the *actual numpy tiles*
+as payloads, so the physics is computed from simulated communication —
+identical final fields across all three algorithms prove correctness, and
+per-iteration simulated latency shows the Distance Halving advantage on a
+structured topology.
+
+Run:  python examples/moore_stencil.py [n_ranks] [radius] [iterations]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Machine, get_algorithm, moore_topology, run_allgather
+from repro.bench.reporting import format_table
+
+TILE = 24  # tile side; tile payload = TILE*TILE float64 ~ 4.5KB
+
+
+def simulate(algorithm_name: str, n_ranks: int, radius: int, iterations: int, machine):
+    """Run the stencil; returns (final field stack, total simulated time)."""
+    topology = moore_topology(n_ranks, r=radius, d=2)
+    algorithm = get_algorithm(algorithm_name)  # reuse pattern across iterations
+    rng = np.random.default_rng(7)
+    tiles = [rng.random((TILE, TILE)) for _ in range(n_ranks)]
+    msg_size = tiles[0].nbytes
+
+    total_time = 0.0
+    for _ in range(iterations):
+        run = run_allgather(algorithm, topology, machine, msg_size, payloads=tiles)
+        total_time += run.simulated_time
+        new_tiles = []
+        for rank in range(n_ranks):
+            received = run.results[rank]
+            neighborhood = np.mean([received[src] for src in sorted(received)], axis=0)
+            new_tiles.append(0.5 * tiles[rank] + 0.5 * neighborhood)
+        tiles = new_tiles
+    return np.stack(tiles), total_time
+
+
+def main() -> None:
+    n_ranks = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    radius = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    iterations = int(sys.argv[3]) if len(sys.argv) > 3 else 5
+
+    machine = Machine.niagara_like(nodes=max(1, n_ranks // 16), ranks_per_socket=8)
+    n_ranks = machine.spec.n_ranks
+    print(
+        f"{n_ranks} ranks, Moore radius {radius} "
+        f"({(2 * radius + 1) ** 2 - 1} neighbors), {iterations} iterations, "
+        f"tile {TILE}x{TILE} float64\n"
+    )
+
+    fields = {}
+    rows = []
+    baseline = None
+    for name in ("naive", "common_neighbor", "distance_halving"):
+        field, total = simulate(name, n_ranks, radius, iterations, machine)
+        fields[name] = field
+        if name == "naive":
+            baseline = total
+        rows.append(
+            (name, f"{total * 1e3:.3f} ms", f"{total / iterations * 1e6:.1f} us",
+             f"{baseline / total:.2f}x")
+        )
+    print(
+        format_table(
+            ["algorithm", "total comm", "per iteration", "speedup"],
+            rows,
+            title="Stencil communication time (simulated)",
+        )
+    )
+
+    same = all(
+        np.allclose(fields["naive"], fields[name])
+        for name in ("common_neighbor", "distance_halving")
+    )
+    print(f"\nfinal fields identical across algorithms: {same}")
+    if not same:
+        raise SystemExit("correctness failure: algorithms diverged")
+
+
+if __name__ == "__main__":
+    main()

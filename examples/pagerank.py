@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Distributed PageRank via neighborhood allgather (a graph-analytics app).
+
+The paper motivates SpMM with "computational linear algebra, big data
+analytics, and graph algorithms".  PageRank is the canonical example: every
+power iteration computes ``x' = d * P^T x + (1-d)/n``, a sparse
+matrix-vector product whose communication is exactly a neighborhood
+allgather of ``x`` stripes over the topology induced by the link matrix.
+
+Each iteration runs the actual numpy stripes through the simulator with the
+selected collective; the final ranking is verified against a sequential
+power iteration, and the per-iteration simulated communication time shows
+the Distance Halving advantage on a power-law-ish web graph.
+
+Run:  python examples/pagerank.py [n_pages] [n_ranks] [iterations]
+"""
+
+import sys
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import Machine, get_algorithm, topology_from_sparse
+from repro.bench.reporting import format_table
+from repro.collectives.runner import run_allgather
+
+DAMPING = 0.85
+
+
+def web_graph(n_pages: int, seed: int = 3) -> sp.csr_matrix:
+    """A small synthetic web: preferential-attachment-ish link matrix."""
+    rng = np.random.default_rng(seed)
+    rows, cols = [], []
+    for page in range(1, n_pages):
+        out_links = 1 + rng.integers(0, 5)
+        # preferential attachment: earlier pages attract more links
+        targets = np.unique(rng.integers(0, page, size=out_links))
+        rows.extend([page] * len(targets))
+        cols.extend(targets.tolist())
+        # and a back-link to keep the graph strongly-ish connected
+        rows.append(int(targets[0]))
+        cols.append(page)
+    data = np.ones(len(rows))
+    return sp.csr_matrix((data, (rows, cols)), shape=(n_pages, n_pages))
+
+
+def transition_matrix(links: sp.csr_matrix) -> sp.csr_matrix:
+    """Column-stochastic transposed transition matrix ``P^T``."""
+    out_degree = np.asarray(links.sum(axis=1)).ravel()
+    out_degree[out_degree == 0] = 1.0
+    inv = sp.diags(1.0 / out_degree)
+    return (links.T @ inv).tocsr()
+
+
+def distributed_pagerank(pt, machine, algorithm_name, iterations, n_ranks):
+    """Power iteration with simulated allgather communication per step."""
+    n = pt.shape[0]
+    topology, partition = topology_from_sparse(pt, n_ranks)
+    algorithm = get_algorithm(algorithm_name)  # one pattern, many iterations
+    block_sizes = [partition.size_of(r) * 8 for r in range(n_ranks)]
+
+    x = np.full(n, 1.0 / n)
+    total_comm = 0.0
+    for _ in range(iterations):
+        payloads = [x[slice(*partition.bounds(r))] for r in range(n_ranks)]
+        run = run_allgather(
+            algorithm, topology, machine, block_sizes, payloads=payloads
+        )
+        total_comm += run.simulated_time
+        x_next = np.empty_like(x)
+        for r in range(n_ranks):
+            lo, hi = partition.bounds(r)
+            x_local = np.zeros(n)
+            x_local[lo:hi] = payloads[r]
+            for src, block in run.results[r].items():
+                s_lo, s_hi = partition.bounds(src)
+                x_local[s_lo:s_hi] = block
+            x_next[lo:hi] = DAMPING * (pt[lo:hi] @ x_local) + (1 - DAMPING) / n
+        x = x_next
+    return x, total_comm
+
+
+def main() -> None:
+    n_pages = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    n_ranks = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    iterations = int(sys.argv[3]) if len(sys.argv) > 3 else 10
+
+    machine = Machine.niagara_like(nodes=max(1, n_ranks // 16), ranks_per_socket=8)
+    n_ranks = machine.spec.n_ranks
+    links = web_graph(n_pages)
+    pt = transition_matrix(links)
+    print(
+        f"{n_pages} pages, {links.nnz} links, {n_ranks} ranks, "
+        f"{iterations} power iterations\n"
+    )
+
+    # Sequential reference.
+    x_ref = np.full(n_pages, 1.0 / n_pages)
+    for _ in range(iterations):
+        x_ref = DAMPING * (pt @ x_ref) + (1 - DAMPING) / n_pages
+
+    rows = []
+    baseline = None
+    for name in ("naive", "common_neighbor", "distance_halving"):
+        x, comm = distributed_pagerank(pt, machine, name, iterations, n_ranks)
+        assert np.allclose(x, x_ref), f"{name}: PageRank diverged from reference"
+        if name == "naive":
+            baseline = comm
+        rows.append(
+            (name, f"{comm * 1e3:.3f} ms", f"{comm / iterations * 1e6:.1f} us",
+             f"{baseline / comm:.2f}x")
+        )
+    print(
+        format_table(
+            ["algorithm", "total comm", "per iteration", "speedup"],
+            rows,
+            title="PageRank communication time (simulated; results verified)",
+        )
+    )
+    top = np.argsort(x_ref)[::-1][:5]
+    print("\ntop pages:", ", ".join(f"#{p} ({x_ref[p]:.4f})" for p in top))
+
+
+if __name__ == "__main__":
+    main()

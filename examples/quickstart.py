@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: compare the three neighborhood-allgather algorithms.
+
+Builds a Niagara-like machine, generates a random sparse virtual topology,
+runs the naive (default Open MPI), Common Neighbor, and Distance Halving
+algorithms through the discrete-event simulator, verifies that all three
+deliver identical receive buffers, and prints latencies, speedups, and the
+message/byte breakdown by link distance class.
+
+Run:  python examples/quickstart.py [n_ranks] [density]
+"""
+
+import sys
+
+from repro import Machine, erdos_renyi_topology, run_allgather, verify_allgather
+from repro.bench.reporting import format_table
+from repro.utils.sizes import format_size, parse_size
+
+
+def main() -> None:
+    n_ranks = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    density = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+
+    ranks_per_socket = 8
+    nodes = max(1, n_ranks // (2 * ranks_per_socket))
+    machine = Machine.niagara_like(nodes=nodes, ranks_per_socket=ranks_per_socket)
+    n_ranks = machine.spec.n_ranks
+    print(f"machine : {machine.describe()}")
+
+    topology = erdos_renyi_topology(n_ranks, density, seed=42)
+    print(f"topology: {topology!r}\n")
+
+    sizes = ("32", "4KB", "256KB")
+    algorithms = ("naive", "common_neighbor", "distance_halving")
+    rows = []
+    for size in sizes:
+        baseline = None
+        for name in algorithms:
+            run = run_allgather(name, topology, machine, size, trace=True)
+            verify_allgather(topology, run)  # raises if any block is wrong
+            if name == "naive":
+                baseline = run.simulated_time
+            off_socket = run.trace.off_socket_messages()
+            rows.append(
+                (
+                    format_size(parse_size(size)),
+                    name,
+                    f"{run.simulated_time * 1e6:.1f} us",
+                    f"{baseline / run.simulated_time:.2f}x",
+                    run.messages_sent,
+                    off_socket,
+                )
+            )
+    print(
+        format_table(
+            ["msg", "algorithm", "latency", "speedup", "messages", "off-socket"],
+            rows,
+            title="Neighborhood allgather comparison (all results verified identical)",
+        )
+    )
+
+    # The distance-halving pattern's construction statistics.
+    run = run_allgather("distance_halving", topology, machine, "4KB")
+    extras = run.setup_stats.extras
+    print(
+        f"\nDistance Halving pattern: {extras['levels']} halving levels, "
+        f"agent success rate {extras['agent_success_rate']:.0%}, "
+        f"{extras['data_messages_per_call']} data messages per call "
+        f"(naive would send {topology.n_edges})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Benchmark scales and machine construction.
+
+The paper's experiments use 540-2160 ranks on the Niagara cluster.  A pure
+Python discrete-event simulation at 2160 ranks and density 0.7 moves ~3M
+messages per allgather, which is minutes per configuration — so benchmark
+runs default to a scaled-down machine with the same structure (2 sockets
+per node, Dragonfly+ groups) and the algorithmic comparison is scale-stable
+(checked against the analytic model at full paper scale in Fig. 2).
+
+Select a scale with the ``REPRO_BENCH_SCALE`` environment variable:
+``small`` (default, 128 ranks), ``medium`` (256), ``large`` (512), or
+``paper`` (2160 — expect long runtimes).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.cluster.machine import Machine
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """One benchmark scale: the base rank count and grid resolutions."""
+
+    name: str
+    ranks: int                 #: base communicator size (largest of Fig. 5's three)
+    ranks_per_socket: int
+    densities: tuple[float, ...]
+    sizes: tuple[str, ...]
+    moore_ranks: int
+    repeats: int = 1
+
+
+_SCALES = {
+    "small": BenchScale(
+        name="small",
+        ranks=128,
+        ranks_per_socket=8,
+        densities=(0.05, 0.1, 0.2, 0.3, 0.5, 0.7),
+        sizes=("8", "512", "4KB", "64KB", "512KB", "4MB"),
+        moore_ranks=128,
+    ),
+    "medium": BenchScale(
+        name="medium",
+        ranks=256,
+        ranks_per_socket=8,
+        densities=(0.05, 0.1, 0.2, 0.3, 0.5, 0.7),
+        sizes=("8", "128", "1KB", "8KB", "64KB", "512KB", "4MB"),
+        moore_ranks=256,
+    ),
+    "large": BenchScale(
+        name="large",
+        ranks=512,
+        ranks_per_socket=16,
+        densities=(0.05, 0.1, 0.2, 0.3, 0.5, 0.7),
+        sizes=("8", "128", "1KB", "8KB", "64KB", "512KB", "4MB"),
+        moore_ranks=512,
+    ),
+    "paper": BenchScale(
+        name="paper",
+        ranks=2160,
+        ranks_per_socket=18,
+        densities=(0.05, 0.1, 0.2, 0.3, 0.5, 0.7),
+        sizes=("8", "32", "512", "4KB", "64KB", "512KB", "4MB"),
+        moore_ranks=2048,
+    ),
+}
+
+ENV_VAR = "REPRO_BENCH_SCALE"
+
+
+def get_scale(name: str | None = None) -> BenchScale:
+    """Resolve a scale by name, falling back to ``$REPRO_BENCH_SCALE`` / small."""
+    if name is None:
+        name = os.environ.get(ENV_VAR, "small")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise KeyError(f"unknown bench scale {name!r}; available: {sorted(_SCALES)}") from None
+
+
+def bench_machine(n_ranks: int, ranks_per_socket: int = 8) -> Machine:
+    """Niagara-like machine with exactly ``n_ranks`` (2 sockets per node)."""
+    per_node = 2 * ranks_per_socket
+    if n_ranks % per_node:
+        raise ValueError(
+            f"n_ranks={n_ranks} does not fill {per_node}-rank nodes; "
+            "pick a multiple"
+        )
+    return Machine.niagara_like(nodes=n_ranks // per_node, ranks_per_socket=ranks_per_socket)

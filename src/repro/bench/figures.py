@@ -1,0 +1,726 @@
+"""Per-figure experiment drivers: one function per paper figure/table.
+
+Every driver returns a payload dict with structured ``rows`` (and prints an
+ASCII table when ``verbose``), archives JSON under ``results/``, and is
+wrapped by a pytest-benchmark target in ``benchmarks/``.  EXPERIMENTS.md
+records each driver's output against the paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.bench.config import BenchScale, bench_machine, get_scale
+from repro.bench.reporting import format_table, geometric_mean, save_results
+from repro.bench.sweep import (
+    DEFAULT_CN_KS,
+    best_common_neighbor,
+    sweep_latency,
+)
+from repro.cluster.calibration import calibrate
+from repro.collectives.base import get_algorithm
+from repro.collectives.runner import run_allgather
+from repro.model.comparison import FIG2_DENSITIES, model_grid
+from repro.model.equations import ModelParams, dh_total_time, naive_total_time
+from repro.spmm.kernel import run_spmm
+from repro.spmm.matrices import TABLE_II, synthetic_matrix
+from repro.topology.moore import moore_neighbor_count, moore_topology
+from repro.topology.random_graphs import erdos_renyi_topology
+from repro.topology.scale_free import scale_free_topology
+from repro.utils.sizes import format_size, parse_size
+
+#: Moore neighborhood configurations benchmarked in Fig. 6 (r, d).
+MOORE_CONFIGS = ((1, 2), (2, 2), (3, 2), (1, 3), (2, 3))
+#: Fig. 6 message sizes: small / medium / large per the paper.
+MOORE_SIZES = ("4KB", "256KB", "4MB")
+
+
+def _emit(title: str, headers, rows, payload: dict, verbose: bool) -> dict:
+    if verbose:
+        print()
+        print(format_table(headers, rows, title=title))
+    save_results(payload["experiment"], payload)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — analytic model comparison at paper scale
+# ---------------------------------------------------------------------------
+
+
+def fig2_model(scale: BenchScale | None = None, verbose: bool = True) -> dict:
+    """Fig. 2: model-predicted DH vs naive over density x message size.
+
+    Always evaluated at the paper's machine scale (2000 cores, 50 nodes,
+    L=20) — the model is closed-form, so scale costs nothing.  alpha/beta
+    come from a simulated ping-pong fit, as the paper fit them from Niagara
+    ping-pongs.
+    """
+    scale = scale or get_scale()
+    machine = bench_machine(scale.ranks, scale.ranks_per_socket)
+    fit = calibrate(machine)
+    params = ModelParams(
+        n=2000, sockets=2, ranks_per_socket=20, alpha=fit.alpha, beta=fit.beta
+    )
+    grid = model_grid(params)
+    rows = [
+        (r["density"], r["msg_label"], r["naive_time"], r["dh_time"], r["speedup"])
+        for r in grid.rows()
+    ]
+    payload = {
+        "experiment": "fig2_model",
+        "alpha": fit.alpha,
+        "beta": fit.beta,
+        "params": {"n": params.n, "S": params.sockets, "L": params.ranks_per_socket},
+        "rows": grid.rows(),
+        "crossovers": {
+            str(d): grid.crossover_size(d) for d in grid.densities
+        },
+    }
+    return _emit(
+        "Fig. 2 — performance model: naive vs Distance Halving (paper scale)",
+        ["density", "msg", "t_naive (s)", "t_DH (s)", "speedup"],
+        rows,
+        payload,
+        verbose,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — measured latency, Random Sparse Graphs, DH vs naive (+ model)
+# ---------------------------------------------------------------------------
+
+
+def fig4_latency(scale: BenchScale | None = None, verbose: bool = True, seed: int = 11) -> dict:
+    """Fig. 4: simulated latency of DH vs naive across densities and sizes.
+
+    Adds the analytic model's predicted speedup per cell, which is the
+    model-validation claim the paper makes about this figure.
+    """
+    scale = scale or get_scale()
+    machine = bench_machine(scale.ranks, scale.ranks_per_socket)
+    fit = calibrate(machine)
+    params = ModelParams.from_machine(machine, alpha=fit.alpha, beta=fit.beta)
+
+    rows: list[tuple] = []
+    records: list[dict[str, Any]] = []
+    for density in scale.densities:
+        topology = erdos_renyi_topology(scale.ranks, density, seed=seed)
+        naive = sweep_latency("naive", topology, machine, scale.sizes)
+        dh = sweep_latency("distance_halving", topology, machine, scale.sizes)
+        for nrec, drec in zip(naive, dh):
+            m = nrec.msg_size
+            model_speedup = float(
+                naive_total_time(params, density, m) / dh_total_time(params, density, m)
+            )
+            measured = nrec.simulated_time / drec.simulated_time
+            rows.append(
+                (density, nrec.msg_label, nrec.simulated_time, drec.simulated_time,
+                 measured, model_speedup)
+            )
+            records.append(
+                {
+                    "density": density,
+                    "msg_size": m,
+                    "naive_time": nrec.simulated_time,
+                    "dh_time": drec.simulated_time,
+                    "measured_speedup": measured,
+                    "model_speedup": model_speedup,
+                }
+            )
+    payload = {
+        "experiment": "fig4_latency",
+        "scale": scale.name,
+        "ranks": scale.ranks,
+        "rows": records,
+    }
+    return _emit(
+        f"Fig. 4 — latency, Random Sparse Graphs ({scale.ranks} ranks)",
+        ["density", "msg", "t_naive (s)", "t_DH (s)", "speedup", "model"],
+        rows,
+        payload,
+        verbose,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — speedup scaling over three communicator sizes
+# ---------------------------------------------------------------------------
+
+
+def fig5_speedup_scaling(
+    scale: BenchScale | None = None, verbose: bool = True, seed: int = 23
+) -> dict:
+    """Fig. 5: DH and best-K Common Neighbor speedups over naive, at three
+    communicator sizes (paper: 2160/1080/540), densities 0.05-0.7, sizes
+    8B-4MB.  Also emits the paper's per-density average-speedup summary and
+    the §VII-A agent-success-rate statistic.
+    """
+    scale = scale or get_scale()
+    sizes = scale.sizes
+    rank_counts = [scale.ranks, scale.ranks // 2, scale.ranks // 4]
+    per_node = 2 * scale.ranks_per_socket
+    rank_counts = [max(per_node, (r // per_node) * per_node) for r in rank_counts]
+
+    rows: list[tuple] = []
+    records: list[dict[str, Any]] = []
+    summary: list[tuple] = []
+    for n_ranks in rank_counts:
+        machine = bench_machine(n_ranks, scale.ranks_per_socket)
+        for density in scale.densities:
+            topology = erdos_renyi_topology(n_ranks, density, seed=seed)
+            naive = sweep_latency("naive", topology, machine, sizes)
+            dh = sweep_latency("distance_halving", topology, machine, sizes)
+            cn = best_common_neighbor(topology, machine, sizes)
+            success_rate = dh[0].detail.get("agent_success_rate", float("nan"))
+            dh_speedups, cn_speedups = [], []
+            for nrec, drec, crec in zip(naive, dh, cn):
+                s_dh = nrec.simulated_time / drec.simulated_time
+                s_cn = nrec.simulated_time / crec.simulated_time
+                dh_speedups.append(s_dh)
+                cn_speedups.append(s_cn)
+                rows.append(
+                    (n_ranks, density, nrec.msg_label, s_dh, s_cn,
+                     crec.detail.get("best_k"))
+                )
+                records.append(
+                    {
+                        "ranks": n_ranks,
+                        "density": density,
+                        "msg_size": nrec.msg_size,
+                        "naive_time": nrec.simulated_time,
+                        "dh_time": drec.simulated_time,
+                        "cn_time": crec.simulated_time,
+                        "dh_speedup": s_dh,
+                        "cn_speedup": s_cn,
+                        "cn_best_k": crec.detail.get("best_k"),
+                        "agent_success_rate": success_rate,
+                    }
+                )
+            summary.append(
+                (n_ranks, density, geometric_mean(dh_speedups),
+                 geometric_mean(cn_speedups), success_rate)
+            )
+    payload = {
+        "experiment": "fig5_speedup_scaling",
+        "scale": scale.name,
+        "rank_counts": rank_counts,
+        "cn_ks": list(DEFAULT_CN_KS),
+        "rows": records,
+        "summary": [
+            {
+                "ranks": r,
+                "density": d,
+                "dh_avg_speedup": sdh,
+                "cn_avg_speedup": scn,
+                "agent_success_rate": sr,
+            }
+            for r, d, sdh, scn, sr in summary
+        ],
+    }
+    out = _emit(
+        f"Fig. 5 — speedups over naive (scales {rank_counts})",
+        ["ranks", "density", "msg", "DH speedup", "CN speedup", "CN K"],
+        rows,
+        payload,
+        verbose,
+    )
+    if verbose:
+        print()
+        print(
+            format_table(
+                ["ranks", "density", "DH avg", "CN avg", "agent success"],
+                summary,
+                title="Fig. 5 summary — average speedup over naive per density",
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — Moore neighborhoods
+# ---------------------------------------------------------------------------
+
+
+def fig6_moore(scale: BenchScale | None = None, verbose: bool = True) -> dict:
+    """Fig. 6: DH and best-K CN speedups over naive for Moore neighborhoods
+    at small (4KB), medium (256KB) and large (4MB) message sizes."""
+    scale = scale or get_scale()
+    n = scale.moore_ranks
+    machine = bench_machine(n, scale.ranks_per_socket)
+
+    rows: list[tuple] = []
+    records: list[dict[str, Any]] = []
+    for r, d in MOORE_CONFIGS:
+        topology = moore_topology(n, r=r, d=d)
+        naive = sweep_latency("naive", topology, machine, MOORE_SIZES)
+        dh = sweep_latency("distance_halving", topology, machine, MOORE_SIZES)
+        cn = best_common_neighbor(topology, machine, MOORE_SIZES)
+        for nrec, drec, crec in zip(naive, dh, cn):
+            s_dh = nrec.simulated_time / drec.simulated_time
+            s_cn = nrec.simulated_time / crec.simulated_time
+            rows.append((f"r={r},d={d}", moore_neighbor_count(r, d), nrec.msg_label, s_dh, s_cn))
+            records.append(
+                {
+                    "r": r,
+                    "d": d,
+                    "neighbors": moore_neighbor_count(r, d),
+                    "msg_size": nrec.msg_size,
+                    "naive_time": nrec.simulated_time,
+                    "dh_speedup": s_dh,
+                    "cn_speedup": s_cn,
+                    "cn_best_k": crec.detail.get("best_k"),
+                }
+            )
+    payload = {
+        "experiment": "fig6_moore",
+        "scale": scale.name,
+        "ranks": n,
+        "rows": records,
+    }
+    return _emit(
+        f"Fig. 6 — Moore neighborhood speedups over naive ({n} ranks)",
+        ["neighborhood", "nbrs", "msg", "DH speedup", "CN speedup"],
+        rows,
+        payload,
+        verbose,
+    )
+
+
+def fig6_variance_study(
+    scale: BenchScale | None = None,
+    verbose: bool = True,
+    placements: int = 8,
+    msg_size: str = "512",
+    moore_r: int = 2,
+) -> dict:
+    """The Fig. 6 stability claim: "The experiments were repeated multiple
+    times, and each time different nodes are assigned to the job ... the
+    default algorithm is sensitive to the distance of the nodes ... our
+    algorithm is considerably more stable."
+
+    Runs the same Moore workload under ``placements`` random node
+    assignments (the scheduler lottery) and reports each algorithm's
+    latency mean and coefficient of variation across placements.
+
+    Reproduction note (recorded in EXPERIMENTS.md): the stability claim
+    holds on our machine model in the latency-bound regime (small
+    messages — hence the 512B default); at bandwidth-bound sizes the two
+    algorithms' placement variance is comparable.
+    """
+    scale = scale or get_scale()
+    n = scale.moore_ranks
+    base = bench_machine(n, scale.ranks_per_socket)
+    topology = moore_topology(n, r=moore_r, d=2)
+
+    samples: dict[str, list[float]] = {"naive": [], "distance_halving": []}
+    for trial in range(placements):
+        machine = base.random_placement(seed=1000 + trial)
+        for alg in samples:
+            samples[alg].append(
+                run_allgather(alg, topology, machine, msg_size).simulated_time
+            )
+
+    rows, records = [], []
+    for alg, times in samples.items():
+        arr = np.asarray(times)
+        mean, std = float(arr.mean()), float(arr.std())
+        cv = std / mean
+        rows.append((alg, mean, std, cv, float(arr.min()), float(arr.max())))
+        records.append(
+            {"algorithm": alg, "mean": mean, "std": std, "cv": cv,
+             "min": float(arr.min()), "max": float(arr.max()),
+             "samples": [float(t) for t in arr]}
+        )
+    payload = {
+        "experiment": "fig6_variance_study",
+        "scale": scale.name,
+        "ranks": n,
+        "placements": placements,
+        "msg_size": parse_size(msg_size),
+        "moore": {"r": moore_r, "d": 2},
+        "rows": records,
+    }
+    return _emit(
+        f"Fig. 6 variance — latency across {placements} node placements "
+        f"(Moore r={moore_r}, {msg_size})",
+        ["algorithm", "mean (s)", "std (s)", "CV", "min", "max"],
+        rows,
+        payload,
+        verbose,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — SpMM kernel
+# ---------------------------------------------------------------------------
+
+
+def fig7_spmm(
+    scale: BenchScale | None = None, verbose: bool = True, y_cols: int = 8, seed: int = 5
+) -> dict:
+    """Fig. 7: SpMM speedups over naive for the seven Table II matrices."""
+    scale = scale or get_scale()
+    machine = bench_machine(scale.ranks, scale.ranks_per_socket)
+
+    rows: list[tuple] = []
+    records: list[dict[str, Any]] = []
+    for spec in TABLE_II:
+        matrix = synthetic_matrix(spec.name, seed=seed)
+        results = {}
+        for alg in ("naive", "distance_halving"):
+            results[alg] = run_spmm(matrix, y_cols, machine, alg, seed=seed)
+        cn_best = None
+        for k in DEFAULT_CN_KS:
+            res = run_spmm(matrix, y_cols, machine, "common_neighbor", seed=seed, k=k)
+            if cn_best is None or res.total_time < cn_best.total_time:
+                cn_best = res
+        naive_t = results["naive"].total_time
+        s_dh = naive_t / results["distance_halving"].total_time
+        s_cn = naive_t / cn_best.total_time
+        rows.append((spec.name, spec.n, spec.nnz, s_dh, s_cn))
+        records.append(
+            {
+                "matrix": spec.name,
+                "n": spec.n,
+                "nnz": spec.nnz,
+                "ranks": results["naive"].n_ranks,
+                "naive_time": naive_t,
+                "dh_time": results["distance_halving"].total_time,
+                "cn_time": cn_best.total_time,
+                "dh_speedup": s_dh,
+                "cn_speedup": s_cn,
+            }
+        )
+    payload = {
+        "experiment": "fig7_spmm",
+        "scale": scale.name,
+        "y_cols": y_cols,
+        "rows": records,
+    }
+    return _emit(
+        f"Fig. 7 — SpMM speedups over naive ({scale.ranks} ranks)",
+        ["matrix", "n", "nnz", "DH speedup", "CN speedup"],
+        rows,
+        payload,
+        verbose,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — pattern-creation overhead
+# ---------------------------------------------------------------------------
+
+
+def fig8_overhead(scale: BenchScale | None = None, verbose: bool = True, seed: int = 31) -> dict:
+    """Fig. 8: pattern-creation cost of DH (message-level protocol) vs the
+    Common Neighbor setup, across densities."""
+    scale = scale or get_scale()
+    machine = bench_machine(scale.ranks, scale.ranks_per_socket)
+
+    rows: list[tuple] = []
+    records: list[dict[str, Any]] = []
+    for density in scale.densities:
+        topology = erdos_renyi_topology(scale.ranks, density, seed=seed)
+        dh = get_algorithm("distance_halving", selection="protocol")
+        dh_stats = dh.setup(topology, machine)
+        cn = get_algorithm("common_neighbor", k=4)
+        cn_stats = cn.setup(topology, machine)
+        ratio = dh_stats.simulated_time / max(cn_stats.simulated_time, 1e-12)
+        rows.append(
+            (density, dh_stats.protocol_messages, cn_stats.protocol_messages,
+             dh_stats.simulated_time, cn_stats.simulated_time, ratio)
+        )
+        records.append(
+            {
+                "density": density,
+                "dh_setup_messages": dh_stats.protocol_messages,
+                "dh_negotiation_messages": dh_stats.extras["negotiation_messages"],
+                "dh_notification_messages": dh_stats.extras["notification_messages"],
+                "dh_descriptor_messages": dh_stats.extras["descriptor_messages"],
+                "dh_matrix_a_messages": dh_stats.extras["matrix_a_messages"],
+                "cn_setup_messages": cn_stats.protocol_messages,
+                "dh_setup_time": dh_stats.simulated_time,
+                "cn_setup_time": cn_stats.simulated_time,
+                "dh_over_cn": ratio,
+                "dh_wall_time": dh_stats.wall_time,
+                "cn_wall_time": cn_stats.wall_time,
+            }
+        )
+    payload = {
+        "experiment": "fig8_overhead",
+        "scale": scale.name,
+        "ranks": scale.ranks,
+        "rows": records,
+    }
+    return _emit(
+        f"Fig. 8 — pattern-creation overhead, DH vs CN ({scale.ranks} ranks)",
+        ["density", "DH msgs", "CN msgs", "DH time (s)", "CN time (s)", "DH/CN"],
+        rows,
+        payload,
+        verbose,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extension — neighborhood alltoall (the paper's Section VIII future work)
+# ---------------------------------------------------------------------------
+
+
+def ext_alltoall(scale: BenchScale | None = None, verbose: bool = True, seed: int = 47) -> dict:
+    """Future-work extension: distance-halving neighborhood alltoall.
+
+    Compares the DH alltoall against the naive per-edge default over the
+    density grid at small and medium message sizes.  Expected shape: large
+    wins in the latency-bound regime (message-count reduction carries
+    over), parity-to-loss when bandwidth-bound (distinct blocks cannot be
+    combined, so forwarding re-pays their bytes per hop).
+    """
+    from repro.collectives.alltoall import run_alltoall, verify_alltoall
+
+    scale = scale or get_scale()
+    machine = bench_machine(scale.ranks, scale.ranks_per_socket)
+    sizes = ("64", "4KB")
+
+    rows, records = [], []
+    for density in scale.densities:
+        topology = erdos_renyi_topology(scale.ranks, density, seed=seed)
+        for size in sizes:
+            naive = run_alltoall("naive_alltoall", topology, machine, size)
+            dh = run_alltoall("distance_halving_alltoall", topology, machine, size)
+            cn = min(
+                (
+                    run_alltoall("common_neighbor_alltoall", topology, machine, size, k=k)
+                    for k in DEFAULT_CN_KS
+                ),
+                key=lambda r: r.simulated_time,
+            )
+            verify_alltoall(topology, naive)
+            verify_alltoall(topology, dh)
+            verify_alltoall(topology, cn)
+            speedup = naive.simulated_time / dh.simulated_time
+            cn_speedup = naive.simulated_time / cn.simulated_time
+            rows.append(
+                (density, format_size(parse_size(size)), naive.messages_sent,
+                 dh.messages_sent, speedup, cn_speedup)
+            )
+            records.append(
+                {
+                    "density": density,
+                    "msg_size": parse_size(size),
+                    "naive_time": naive.simulated_time,
+                    "dh_time": dh.simulated_time,
+                    "cn_time": cn.simulated_time,
+                    "naive_messages": naive.messages_sent,
+                    "dh_messages": dh.messages_sent,
+                    "naive_bytes": naive.bytes_sent,
+                    "dh_bytes": dh.bytes_sent,
+                    "speedup": speedup,
+                    "cn_speedup": cn_speedup,
+                }
+            )
+    payload = {
+        "experiment": "ext_alltoall",
+        "scale": scale.name,
+        "ranks": scale.ranks,
+        "rows": records,
+    }
+    return _emit(
+        f"Extension — neighborhood alltoall ({scale.ranks} ranks)",
+        ["density", "msg", "naive msgs", "DH msgs", "DH speedup", "CN speedup"],
+        rows,
+        payload,
+        verbose,
+    )
+
+
+def ext_network_sensitivity(
+    scale: BenchScale | None = None, verbose: bool = True, seed: int = 53,
+    density: float = 0.3,
+) -> dict:
+    """Section IV's generality claim: the distant-rank bottleneck "extends
+    beyond the mentioned topologies", so DH should win on Dragonfly+,
+    tapered fat trees, AND tori.  Same workload, three networks.
+    """
+    from dataclasses import replace
+
+    from repro.cluster.hockney import NIAGARA_LIKE
+    from repro.cluster.network import DragonflyPlus, FatTree, Torus
+    from repro.cluster.machine import Machine
+    from repro.cluster.spec import ClusterSpec
+
+    scale = scale or get_scale()
+    spec = ClusterSpec(
+        nodes=scale.ranks // (2 * scale.ranks_per_socket),
+        sockets_per_node=2,
+        ranks_per_socket=scale.ranks_per_socket,
+    )
+    nodes = spec.nodes
+    networks = [
+        ("dragonfly+", DragonflyPlus(nodes_per_group=max(2, nodes // 4))),
+        ("fat-tree", FatTree(nodes_per_leaf=max(2, nodes // 4), taper=0.5)),
+        ("torus", Torus(dims=_torus_dims(nodes))),
+    ]
+    topology = erdos_renyi_topology(scale.ranks, density, seed=seed)
+    sizes = ("64", "64KB")
+
+    rows, records = [], []
+    for name, network in networks:
+        machine = Machine(spec=spec, network=network, params=NIAGARA_LIKE)
+        naive = sweep_latency("naive", topology, machine, sizes)
+        dh = sweep_latency("distance_halving", topology, machine, sizes)
+        for nrec, drec in zip(naive, dh):
+            speedup = nrec.simulated_time / drec.simulated_time
+            rows.append((name, nrec.msg_label, nrec.simulated_time,
+                         drec.simulated_time, speedup))
+            records.append(
+                {
+                    "network": name,
+                    "msg_size": nrec.msg_size,
+                    "naive_time": nrec.simulated_time,
+                    "dh_time": drec.simulated_time,
+                    "speedup": speedup,
+                }
+            )
+    payload = {
+        "experiment": "ext_network_sensitivity",
+        "scale": scale.name,
+        "density": density,
+        "ranks": scale.ranks,
+        "rows": records,
+    }
+    return _emit(
+        f"Extension — network sensitivity at density {density} ({scale.ranks} ranks)",
+        ["network", "msg", "t_naive (s)", "t_DH (s)", "DH speedup"],
+        rows,
+        payload,
+        verbose,
+    )
+
+
+def _torus_dims(nodes: int) -> tuple[int, ...]:
+    """Near-square 2D factorization of the node count."""
+    from repro.topology.moore import dims_create
+
+    return dims_create(nodes, 2)
+
+
+# ---------------------------------------------------------------------------
+# Ablations (DESIGN.md Section 5)
+# ---------------------------------------------------------------------------
+
+
+def ablation_agent_policy(
+    scale: BenchScale | None = None, verbose: bool = True, seed: int = 17,
+    msg_size: str = "512", trials: int = 3,
+) -> dict:
+    """Load-aware agent choice vs random agent choice (design decision 1).
+
+    Measured finding (recorded in EXPERIMENTS.md): load-awareness pays on
+    the *sparse and imbalanced* patterns the paper motivates it with
+    (scale-free hubs, low-density graphs) and converges with — sometimes
+    loses to — random matching on dense uniform graphs, where any maximal
+    matching offloads nearly everything.  Each workload is averaged
+    (geometric mean) over ``trials`` seeds because single-instance ratios
+    are matching-lottery noisy.
+    """
+    scale = scale or get_scale()
+    machine = bench_machine(scale.ranks, scale.ranks_per_socket)
+
+    def workload_makers():
+        for density in scale.densities:
+            yield (
+                f"ER d={density}",
+                density,
+                lambda s, d=density: erdos_renyi_topology(scale.ranks, d, seed=s),
+            )
+        # Imbalanced workload — where the paper motivates the load-aware choice.
+        yield (
+            "scale-free",
+            None,
+            lambda s: scale_free_topology(scale.ranks, edges_per_rank=6, seed=s),
+        )
+
+    rows, records = [], []
+    for label, density, make in workload_makers():
+        ratios, aware_times, random_times = [], [], []
+        for trial in range(trials):
+            topology = make(seed + trial)
+            t_aware = run_allgather(
+                "distance_halving", topology, machine, msg_size
+            ).simulated_time
+            t_random = run_allgather(
+                "distance_halving", topology, machine, msg_size, selection="random"
+            ).simulated_time
+            ratios.append(t_random / t_aware)
+            aware_times.append(t_aware)
+            random_times.append(t_random)
+        ratio = geometric_mean(ratios)
+        t_aware = sum(aware_times) / trials
+        t_random = sum(random_times) / trials
+        rows.append((label, t_aware, t_random, ratio))
+        records.append(
+            {
+                "workload": label,
+                "density": density,
+                "load_aware_time": t_aware,
+                "random_time": t_random,
+                "random_over_aware": ratio,
+                "trial_ratios": ratios,
+            }
+        )
+    payload = {
+        "experiment": "ablation_agent_policy",
+        "scale": scale.name,
+        "msg_size": parse_size(msg_size),
+        "rows": records,
+    }
+    return _emit(
+        f"Ablation — load-aware vs random agent selection ({msg_size} messages)",
+        ["workload", "t load-aware (s)", "t random (s)", "random/aware"],
+        rows,
+        payload,
+        verbose,
+    )
+
+
+def ablation_stop_granularity(
+    scale: BenchScale | None = None, verbose: bool = True, seed: int = 17,
+    msg_size: str = "4KB",
+) -> dict:
+    """Stop halving at the socket (paper) vs halving to single ranks."""
+    scale = scale or get_scale()
+    machine = bench_machine(scale.ranks, scale.ranks_per_socket)
+    rows, records = [], []
+    for density in scale.densities:
+        topology = erdos_renyi_topology(scale.ranks, density, seed=seed)
+        t_socket = run_allgather(
+            "distance_halving", topology, machine, msg_size
+        ).simulated_time
+        t_single = run_allgather(
+            "distance_halving", topology, machine, msg_size, stop_ranks=1
+        ).simulated_time
+        rows.append((density, t_socket, t_single, t_single / t_socket))
+        records.append(
+            {
+                "density": density,
+                "stop_at_socket_time": t_socket,
+                "stop_at_rank_time": t_single,
+                "single_over_socket": t_single / t_socket,
+            }
+        )
+    payload = {
+        "experiment": "ablation_stop_granularity",
+        "scale": scale.name,
+        "msg_size": parse_size(msg_size),
+        "rows": records,
+    }
+    return _emit(
+        f"Ablation — halving stop granularity: socket (L) vs single rank ({msg_size})",
+        ["density", "t stop@L (s)", "t stop@1 (s)", "single/socket"],
+        rows,
+        payload,
+        verbose,
+    )

@@ -1,0 +1,90 @@
+"""OSU-style iterated latency micro-benchmark.
+
+The paper's micro-benchmarks time repeated collective calls and report
+statistics (its Fig. 6 error bars come from repetition under system noise
+and changing placements).  :func:`latency_benchmark` mirrors that: it runs
+``iterations`` simulated collectives after ``warmup`` discarded ones,
+varying the noise seed per iteration (and optionally the node placement),
+and reports min/avg/max/std — a distribution only when the machine has
+``jitter > 0`` or placements vary; on a noiseless fixed machine every
+iteration is identical by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+from repro.collectives.base import NeighborhoodAllgatherAlgorithm, get_algorithm
+from repro.collectives.runner import run_allgather
+from repro.topology.graph import DistGraphTopology
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Statistics over iterated collective calls (simulated seconds)."""
+
+    algorithm: str
+    msg_size: int
+    iterations: int
+    minimum: float
+    average: float
+    maximum: float
+    std: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation — the stability metric of Fig. 6."""
+        return self.std / self.average if self.average else 0.0
+
+
+def latency_benchmark(
+    algorithm: str | NeighborhoodAllgatherAlgorithm,
+    topology: DistGraphTopology,
+    machine: Machine,
+    msg_size: int | str,
+    iterations: int = 10,
+    warmup: int = 2,
+    vary_placement: bool = False,
+    seed: int = 0,
+    **algorithm_kwargs,
+) -> LatencyStats:
+    """Iterated latency measurement with per-iteration noise seeds.
+
+    ``vary_placement=True`` additionally re-draws the node assignment each
+    iteration (the scheduler lottery), like repeating a batch job.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    if isinstance(algorithm, str):
+        algorithm = get_algorithm(algorithm, **algorithm_kwargs)
+    elif algorithm_kwargs:
+        raise ValueError("algorithm_kwargs only apply when algorithm is a name")
+
+    times: list[float] = []
+    msg_bytes = 0
+    for i in range(warmup + iterations):
+        run_machine = (
+            machine.random_placement(seed=seed * 1_000_003 + i) if vary_placement else machine
+        )
+        run = run_allgather(
+            algorithm, topology, run_machine, msg_size, noise_seed=seed * 7919 + i
+        )
+        msg_bytes = run.msg_size
+        if i >= warmup:
+            times.append(run.simulated_time)
+
+    arr = np.asarray(times)
+    return LatencyStats(
+        algorithm=algorithm.name,
+        msg_size=msg_bytes,
+        iterations=iterations,
+        minimum=float(arr.min()),
+        average=float(arr.mean()),
+        maximum=float(arr.max()),
+        std=float(arr.std()),
+    )

@@ -1,0 +1,61 @@
+"""Plain-text tables and JSON result archival for the benchmark drivers."""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+#: Where benchmark drivers archive their rows (JSON per experiment).
+RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+    floatfmt: str = "{:.3g}",
+) -> str:
+    """Fixed-width ASCII table (the paper-figure analogue in a terminal)."""
+    str_rows = []
+    for row in rows:
+        str_rows.append(
+            [floatfmt.format(x) if isinstance(x, float) else str(x) for x in row]
+        )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_results(experiment: str, payload: dict) -> Path:
+    """Archive an experiment's rows (plus metadata) as JSON under results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = dict(payload)
+    payload.setdefault("experiment", experiment)
+    payload.setdefault("timestamp", time.strftime("%Y-%m-%dT%H:%M:%S"))
+    path = RESULTS_DIR / f"{experiment}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geomean, the right average for speedup ratios."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric_mean requires positive values")
+    return float(math.exp(sum(math.log(v) for v in vals) / len(vals)))

@@ -1,0 +1,277 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info``
+    Version, registered algorithms, benchmark scales.
+``calibrate``
+    Simulated ping-pong and the fitted Hockney (alpha, beta).
+``compare``
+    Run all three allgather algorithms on one workload and print the
+    comparison table (latency, speedup, message counts).
+``model``
+    Evaluate the paper's performance model (Fig. 2 grid) at paper scale.
+``spmm``
+    Run the SpMM kernel for one or all Table II matrices.
+``bench``
+    Regenerate one paper figure (or ``all``) at the selected scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.config import get_scale
+from repro.bench.reporting import format_table
+from repro.utils.sizes import format_size, parse_size
+
+#: Figure name -> driver attribute in repro.bench.figures.
+FIGURES = {
+    "fig2": "fig2_model",
+    "fig4": "fig4_latency",
+    "fig5": "fig5_speedup_scaling",
+    "fig6": "fig6_moore",
+    "fig6-variance": "fig6_variance_study",
+    "fig7": "fig7_spmm",
+    "fig8": "fig8_overhead",
+    "alltoall": "ext_alltoall",
+    "ablation-agent": "ablation_agent_policy",
+    "ablation-stop": "ablation_stop_granularity",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distance-halving neighborhood allgather (CLUSTER 2024) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version, algorithms, scales")
+
+    cal = sub.add_parser("calibrate", help="simulated ping-pong + Hockney fit")
+    _machine_args(cal)
+
+    cmp_p = sub.add_parser("compare", help="compare algorithms on one workload")
+    _machine_args(cmp_p)
+    cmp_p.add_argument("--topology", choices=("random", "moore", "cartesian"),
+                       default="random")
+    cmp_p.add_argument("--density", type=float, default=0.3,
+                       help="edge probability for random topologies")
+    cmp_p.add_argument("--radius", type=int, default=1, help="Moore radius r")
+    cmp_p.add_argument("--dims", type=int, default=2, help="grid dimensionality d")
+    cmp_p.add_argument("--msg", default="4KB", help="message size (e.g. 64, 4KB, 1MB)")
+    cmp_p.add_argument("--seed", type=int, default=0)
+    cmp_p.add_argument("--collective", choices=("allgather", "alltoall"),
+                       default="allgather")
+
+    model_p = sub.add_parser("model", help="performance-model grid (Fig. 2)")
+    _machine_args(model_p)
+
+    an_p = sub.add_parser("analyze", help="topology diagnostics + DH pattern preview")
+    _machine_args(an_p)
+    an_p.add_argument("--topology", choices=("random", "moore", "cartesian"),
+                      default="random")
+    an_p.add_argument("--density", type=float, default=0.3)
+    an_p.add_argument("--radius", type=int, default=1)
+    an_p.add_argument("--dims", type=int, default=2)
+    an_p.add_argument("--seed", type=int, default=0)
+
+    spmm_p = sub.add_parser("spmm", help="SpMM kernel on Table II matrices")
+    _machine_args(spmm_p)
+    spmm_p.add_argument("matrices", nargs="*", help="matrix names (default: all)")
+    spmm_p.add_argument("--cols", type=int, default=8, help="columns of Y")
+
+    bench_p = sub.add_parser("bench", help="regenerate a paper figure")
+    bench_p.add_argument("figure", choices=sorted(FIGURES) + ["all"])
+    bench_p.add_argument("--scale", choices=("small", "medium", "large", "paper"),
+                         default=None)
+    return parser
+
+
+def _machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--ranks-per-socket", type=int, default=8, dest="rps")
+
+
+def _machine(args):
+    from repro.cluster import Machine
+
+    return Machine.niagara_like(nodes=args.nodes, ranks_per_socket=args.rps)
+
+
+def cmd_info(args) -> int:
+    import repro
+    from repro.bench.config import _SCALES
+    from repro.collectives import available_algorithms
+    from repro.collectives.alltoall import alltoall_algorithms
+
+    print(f"repro {repro.__version__} — CLUSTER 2024 neighborhood-allgather reproduction")
+    print(f"allgather algorithms: {', '.join(available_algorithms())}")
+    print(f"alltoall algorithms : {', '.join(alltoall_algorithms())}")
+    print("bench scales        : " + ", ".join(
+        f"{name} ({s.ranks} ranks)" for name, s in _SCALES.items()
+    ))
+    print(f"figures             : {', '.join(sorted(FIGURES))}")
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from repro.cluster.calibration import fit_hockney, simulated_ping_pong
+
+    machine = _machine(args)
+    print(f"machine: {machine.describe()}")
+    samples = simulated_ping_pong(machine)
+    rows = [(format_size(s), t * 1e6) for s, t in sorted(samples.items())]
+    print(format_table(["size", "one-way (us)"], rows, title="simulated ping-pong"))
+    fit = fit_hockney(samples)
+    print(f"\nHockney fit: alpha = {fit.alpha * 1e6:.3f} us, "
+          f"beta = {fit.beta / 1e9:.2f} GB/s")
+    return 0
+
+
+def _build_topology(args, n: int):
+    from repro.topology import cartesian_topology, erdos_renyi_topology, moore_topology
+
+    if args.topology == "random":
+        return erdos_renyi_topology(n, args.density, seed=args.seed)
+    if args.topology == "moore":
+        return moore_topology(n, r=args.radius, d=args.dims)
+    return cartesian_topology(n, d=args.dims)
+
+
+def cmd_compare(args) -> int:
+    machine = _machine(args)
+    n = machine.spec.n_ranks
+    topology = _build_topology(args, n)
+    print(f"machine : {machine.describe()}")
+    print(f"topology: {topology!r}")
+    print(f"message : {format_size(parse_size(args.msg))} ({args.collective})\n")
+
+    rows = []
+    baseline = None
+    if args.collective == "allgather":
+        from repro.collectives import run_allgather, verify_allgather
+
+        for name in ("naive", "common_neighbor", "distance_halving"):
+            run = run_allgather(name, topology, machine, args.msg)
+            verify_allgather(topology, run)
+            baseline = baseline or run.simulated_time
+            rows.append(
+                (name, f"{run.simulated_time * 1e6:.1f} us",
+                 f"{baseline / run.simulated_time:.2f}x", run.messages_sent)
+            )
+    else:
+        from repro.collectives.alltoall import run_alltoall, verify_alltoall
+
+        for name in ("naive_alltoall", "distance_halving_alltoall"):
+            run = run_alltoall(name, topology, machine, args.msg)
+            verify_alltoall(topology, run)
+            baseline = baseline or run.simulated_time
+            rows.append(
+                (name, f"{run.simulated_time * 1e6:.1f} us",
+                 f"{baseline / run.simulated_time:.2f}x", run.messages_sent)
+            )
+    print(format_table(["algorithm", "latency", "speedup", "messages"], rows,
+                       title="results verified identical across algorithms"))
+    return 0
+
+
+def cmd_model(args) -> int:
+    from repro.bench.heatmap import render_speedup_grid
+    from repro.cluster.calibration import calibrate
+    from repro.model import ModelParams, model_grid
+
+    machine = _machine(args)
+    fit = calibrate(machine)
+    params = ModelParams(n=2000, sockets=2, ranks_per_socket=20,
+                         alpha=fit.alpha, beta=fit.beta)
+    grid = model_grid(params)
+    print(
+        render_speedup_grid(
+            grid.rows(),
+            row_key="density",
+            col_key="msg_size",
+            value_key="speedup",
+            title="Fig. 2 — model-predicted DH speedup over naive (paper scale)",
+            col_label=lambda s: format_size(int(s)),
+            row_label=lambda d: f"d={d}",
+        )
+    )
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.topology.analysis import analyze_topology, pattern_preview
+
+    machine = _machine(args)
+    topology = _build_topology(args, machine.spec.n_ranks)
+    print(f"machine : {machine.describe()}")
+    report = analyze_topology(topology, machine)
+    for line in report.summary_lines():
+        print(line)
+    preview = pattern_preview(topology, machine)
+    print(
+        f"Distance Halving preview: {preview['levels']} levels, "
+        f"agent success {preview['agent_success_rate']:.0%}, "
+        f"{preview['dh_messages_per_call']} msgs/call vs "
+        f"{preview['naive_messages_per_call']} naive "
+        f"({preview['message_reduction']:.1f}x fewer), "
+        f"peak buffer {preview['peak_buffer_blocks']} blocks"
+    )
+    return 0
+
+
+def cmd_spmm(args) -> int:
+    from repro.spmm import run_spmm, synthetic_matrix
+    from repro.spmm.matrices import matrix_names
+
+    machine = _machine(args)
+    names = args.matrices or list(matrix_names())
+    rows = []
+    for name in names:
+        matrix = synthetic_matrix(name, seed=1)
+        naive = run_spmm(matrix, args.cols, machine, "naive", seed=1)
+        dh = run_spmm(matrix, args.cols, machine, "distance_halving", seed=1)
+        rows.append(
+            (name, matrix.shape[0], matrix.nnz,
+             f"{naive.total_time * 1e6:.0f} us",
+             f"{naive.total_time / dh.total_time:.2f}x")
+        )
+    print(format_table(["matrix", "n", "nnz", "naive time", "DH speedup"], rows,
+                       title="SpMM kernel (results verified against X @ Y)"))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import repro.bench.figures as figures
+
+    scale = get_scale(args.scale)
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        driver = getattr(figures, FIGURES[name])
+        driver(scale, verbose=True)
+    return 0
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "calibrate": cmd_calibrate,
+    "compare": cmd_compare,
+    "model": cmd_model,
+    "analyze": cmd_analyze,
+    "spmm": cmd_spmm,
+    "bench": cmd_bench,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Machine model: rank placement, link distance classes, network topologies.
+
+This subpackage is the stand-in for the paper's Niagara cluster (2024 nodes,
+2 sockets x 20 cores per node, Dragonfly+ over EDR InfiniBand).  It answers
+two questions for the simulator and the analytic model:
+
+1. *Where does a rank live?*  (:class:`ClusterSpec` — node / socket / core)
+2. *What does it cost to move bytes between two ranks?*
+   (:class:`HockneyParameters` per :class:`LinkClass`, a
+   :class:`NetworkTopology` that classifies node pairs and exposes shared
+   bottleneck resources, and the :class:`Machine` bundle of all three.)
+"""
+
+from repro.cluster.calibration import (
+    DEFAULT_PING_PONG_SIZES,
+    HockneyFit,
+    calibrate,
+    fit_hockney,
+    simulated_ping_pong,
+)
+from repro.cluster.hockney import NIAGARA_LIKE, HockneyParameters, LinkCost
+from repro.cluster.machine import Machine
+from repro.cluster.network import (
+    DragonflyPlus,
+    FatTree,
+    NetworkTopology,
+    PermutedNodes,
+    SingleSwitch,
+    Torus,
+)
+from repro.cluster.spec import ClusterSpec, LinkClass
+
+__all__ = [
+    "ClusterSpec",
+    "LinkClass",
+    "HockneyParameters",
+    "LinkCost",
+    "NIAGARA_LIKE",
+    "Machine",
+    "NetworkTopology",
+    "PermutedNodes",
+    "SingleSwitch",
+    "DragonflyPlus",
+    "FatTree",
+    "Torus",
+    "HockneyFit",
+    "calibrate",
+    "fit_hockney",
+    "simulated_ping_pong",
+    "DEFAULT_PING_PONG_SIZES",
+]

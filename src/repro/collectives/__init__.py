@@ -1,0 +1,46 @@
+"""Neighborhood-allgather algorithms and their execution harness.
+
+Three algorithms, as in the paper's evaluation:
+
+* :class:`NaiveAllgather` — direct point-to-point to every neighbor
+  (default Open MPI / MPICH behaviour).
+* :class:`CommonNeighborAllgather` — message combining over groups of K
+  ranks with common outgoing neighbors (Ghazimirsaeed et al., IPDPS'19).
+* :class:`DistanceHalvingAllgather` — the paper's topology- and load-aware
+  distance-halving design.
+
+All three run as rank programs on the discrete-event simulator through
+:func:`run_allgather` and produce byte-identical receive buffers
+(property-tested), differing only in messaging schedule and cost.
+"""
+
+from repro.collectives.base import (
+    ExecutionContext,
+    NeighborhoodAllgatherAlgorithm,
+    SetupStats,
+    available_algorithms,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.collectives.naive import NaiveAllgather
+from repro.collectives.common_neighbor import CommonNeighborAllgather
+from repro.collectives.distance_halving import DistanceHalvingAllgather
+from repro.collectives.hierarchical import HierarchicalAllgather
+from repro.collectives.runner import AllgatherRun, run_allgather, run_allgatherv, verify_allgather
+
+__all__ = [
+    "NeighborhoodAllgatherAlgorithm",
+    "ExecutionContext",
+    "SetupStats",
+    "register_algorithm",
+    "get_algorithm",
+    "available_algorithms",
+    "NaiveAllgather",
+    "CommonNeighborAllgather",
+    "DistanceHalvingAllgather",
+    "HierarchicalAllgather",
+    "AllgatherRun",
+    "run_allgather",
+    "run_allgatherv",
+    "verify_allgather",
+]

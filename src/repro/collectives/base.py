@@ -1,0 +1,151 @@
+"""Algorithm interface, registry, and execution context.
+
+An algorithm separates *pattern creation* (:meth:`setup`, the work MPI does
+once inside ``MPI_Dist_graph_create_adjacent``) from *operation*
+(:meth:`program`, executed on every ``MPI_Neighbor_allgather`` call).  The
+paper measures both: Figs. 4-7 time the operation; Fig. 8 the setup.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, ClassVar, Generator
+
+from repro.cluster.machine import Machine
+from repro.sim.communicator import SimCommunicator
+from repro.topology.graph import DistGraphTopology
+
+
+@dataclass
+class SetupStats:
+    """Cost of pattern creation (the Fig. 8 quantities).
+
+    ``protocol_messages`` counts control messages the setup would exchange
+    on a real machine; ``simulated_time`` prices them through the machine's
+    Hockney costs; ``wall_time`` is the Python wall-clock spent building.
+    """
+
+    protocol_messages: int = 0
+    simulated_time: float = 0.0
+    wall_time: float = 0.0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a rank program needs for one allgather invocation.
+
+    ``payloads[r]`` is rank r's send-buffer object (any Python object; the
+    harness uses the rank id so block identity is checkable).  ``results[r]``
+    collects what lands in rank r's receive buffer, keyed by source rank.
+    ``msg_size`` is the byte size of each rank's block (``m`` in the paper);
+    for the allgatherv variant, ``block_sizes`` overrides it per source rank
+    (``msg_size`` then holds the maximum, for reporting).
+    """
+
+    topology: DistGraphTopology
+    machine: Machine
+    msg_size: int
+    payloads: list[Any]
+    results: list[dict[int, Any]]
+    block_sizes: list[int] | None = None
+
+    def size_of(self, src: int) -> int:
+        """Byte size of rank ``src``'s block."""
+        return self.msg_size if self.block_sizes is None else self.block_sizes[src]
+
+    def sizes_of(self, blocks) -> int:
+        """Total bytes of a sequence of source-rank block ids."""
+        if self.block_sizes is None:
+            return self.msg_size * len(blocks)
+        return sum(self.block_sizes[src] for src in blocks)
+
+
+class NeighborhoodAllgatherAlgorithm(abc.ABC):
+    """A neighborhood-allgather implementation.
+
+    Subclasses set :attr:`name`, build their plan in :meth:`setup`, and
+    emit per-rank simulator programs from :meth:`program`.
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self) -> None:
+        self._topology: DistGraphTopology | None = None
+        self._machine: Machine | None = None
+        self.setup_stats: SetupStats | None = None
+
+    # ------------------------------------------------------------- lifecycle
+    def setup(self, topology: DistGraphTopology, machine: Machine) -> SetupStats:
+        """Build the communication plan; idempotent for the same inputs."""
+        if topology.n > machine.spec.n_ranks:
+            raise ValueError(
+                f"topology has {topology.n} ranks but machine only "
+                f"{machine.spec.n_ranks}"
+            )
+        if self._topology is topology and self._machine is machine and self.setup_stats:
+            return self.setup_stats
+        self._topology = topology
+        self._machine = machine
+        self.setup_stats = self._build(topology, machine)
+        return self.setup_stats
+
+    @abc.abstractmethod
+    def _build(self, topology: DistGraphTopology, machine: Machine) -> SetupStats:
+        """Subclass hook: build internal plan, return its cost."""
+
+    @abc.abstractmethod
+    def program(self, comm: SimCommunicator, ctx: ExecutionContext) -> Generator | None:
+        """The rank's simulator program for one allgather call.
+
+        May return ``None`` when the rank has nothing to do.
+        """
+
+    # ---------------------------------------------------------------- helpers
+    @property
+    def is_setup(self) -> bool:
+        return self.setup_stats is not None
+
+    def require_setup(self) -> None:
+        if not self.is_setup:
+            raise RuntimeError(f"{self.name}: setup() must run before program()")
+
+    def program_factory(self, ctx: ExecutionContext) -> Callable[[int], Callable]:
+        """Adapter for :meth:`Engine.spawn_all`."""
+        self.require_setup()
+
+        def factory(rank: int):
+            return lambda comm: self.program(comm, ctx)
+
+        return factory
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "ready" if self.is_setup else "unset"
+        return f"{type(self).__name__}(name={self.name!r}, {state})"
+
+
+_REGISTRY: dict[str, type[NeighborhoodAllgatherAlgorithm]] = {}
+
+
+def register_algorithm(cls: type[NeighborhoodAllgatherAlgorithm]):
+    """Class decorator: register under ``cls.name`` for name-based lookup."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError(f"{cls.__name__} must define a unique non-abstract name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"algorithm {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_algorithm(name: str, **kwargs) -> NeighborhoodAllgatherAlgorithm:
+    """Instantiate a registered algorithm by name (kwargs to its __init__)."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown algorithm {name!r}; available: {sorted(_REGISTRY)}") from None
+    return cls(**kwargs)
+
+
+def available_algorithms() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

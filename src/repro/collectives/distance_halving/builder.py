@@ -1,0 +1,340 @@
+"""Algorithm 1: building the Distance Halving communication pattern.
+
+The builder runs the recursive halving for *all* ranks in lockstep levels.
+At level ``t`` every rank interval larger than ``L`` (ranks per socket)
+splits around its midpoint; within each split two matching rounds run —
+lower ranks select agents among upper ranks, then vice versa — using the
+shared-outgoing-neighbor scores of Matrix A.  Matched pairs exchange duty
+descriptors ``D`` (which delivery obligations move to the agent), exactly
+as Algorithm 1's Lines 25-49.
+
+State per rank (the paper's variables):
+
+* ``duties[r][src]`` — targets rank ``r`` must still deliver ``src``'s block
+  to.  ``duties[r][r]`` starts as ``O_r``; entries for other sources are
+  the union of received descriptors (the paper's ``O_org``).  ``O_on`` of
+  the paper is ``duties[r][r]``; ``O_off`` is what a transfer removes.
+* ``blocks[r]`` — ordered contents of ``main_buf`` in ``m``-byte blocks
+  (source rank per block; duplicates possible since buffers are forwarded
+  wholesale).
+
+The delivery invariant — every topology edge is delivered exactly once,
+either to an agent that is itself the target (during halving) or in the
+final phase — is checked by :func:`check_pattern` and property-tested.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+from repro.collectives.distance_halving.matrix_a import adjacency_matrix
+from repro.collectives.distance_halving.negotiation import (
+    NegotiationOutcome,
+    greedy_matching,
+    protocol_matching,
+    random_matching,
+)
+from repro.collectives.distance_halving.pattern import (
+    CommunicationPattern,
+    FinalRecv,
+    FinalSend,
+    HalvingStep,
+    PatternStats,
+    RankPattern,
+)
+from repro.topology.graph import DistGraphTopology
+
+_SELECTIONS = ("greedy", "protocol", "random")
+
+
+def build_patterns(
+    topology: DistGraphTopology,
+    machine: Machine,
+    selection: str = "greedy",
+    stop_ranks: int | None = None,
+    seed: int = 0,
+    record_pairs: bool = False,
+) -> CommunicationPattern:
+    """Build the Distance Halving pattern for every rank.
+
+    Parameters
+    ----------
+    topology, machine:
+        The virtual topology and the machine (only ``ranks_per_socket`` and
+        the communicator size matter for the pattern itself).
+    selection:
+        ``"greedy"`` computes the protocol's fixed point directly (fast
+        path); ``"protocol"`` emulates the REQ/ACCEPT/DROP/EXIT signal
+        exchange message-by-message and records signal counts in the stats
+        (used for the Fig. 8 overhead study) — both produce identical
+        matchings.  ``"random"`` is the ablation baseline that ignores the
+        load-aware shared-neighbor scores.
+    stop_ranks:
+        Halving stops when intervals reach this many ranks; defaults to the
+        machine's ranks-per-socket ``L`` (the paper's choice).  ``1`` halves
+        all the way down — the ablation for the socket-granularity stop.
+    seed:
+        RNG seed for ``selection="random"``.
+    record_pairs:
+        Also record the exact (source, target) duty pairs moved in every
+        step (``HalvingStep.send_pairs``/``recv_pairs``) — required by the
+        alltoall variant, skipped by default to keep allgather patterns
+        lean.
+    """
+    if selection not in _SELECTIONS:
+        raise ValueError(f"selection must be one of {_SELECTIONS}, got {selection!r}")
+    n = topology.n
+    L = machine.spec.ranks_per_socket if stop_ranks is None else stop_ranks
+    if L < 1:
+        raise ValueError(f"stop_ranks must be >= 1, got {L}")
+    rng = np.random.default_rng(seed)
+    stats = PatternStats()
+
+    adj = adjacency_matrix(topology)
+    adj_f32 = adj.astype(np.float32)
+    # calculate_A (Algorithm 1, line 4): every rank learns every other
+    # rank's outgoing-neighbor list — an all-to-all of neighbor lists.
+    stats.matrix_a_messages = n * (n - 1)
+
+    patterns = [RankPattern(rank=r) for r in range(n)]
+    duties: list[dict[int, set[int]]] = []
+    blocks: list[list[int]] = []
+    for r in range(n):
+        out = set(topology.out_neighbors(r))
+        if r in out:
+            patterns[r].self_copy = True
+            out.discard(r)
+        duties.append({r: out} if out else {})
+        blocks.append([r])
+
+    intervals: list[tuple[int, int]] = [(0, n)]  # half-open [lo, hi)
+    t = 0
+    while any(hi - lo > L for lo, hi in intervals):
+        next_intervals: list[tuple[int, int]] = []
+        # (giver, agent, giver_h2) transfers at this level, snapshot-consistent.
+        transfers: list[tuple[int, int, tuple[int, int]]] = []
+        agents_of: dict[int, int] = {}
+        origins_of: dict[int, int] = {}
+
+        for lo, hi in intervals:
+            if hi - lo <= L:
+                continue  # this interval reached socket granularity earlier
+            mid = (lo + hi - 1) // 2  # paper's mid_rank (inclusive midpoint)
+            lower, upper = (lo, mid + 1), (mid + 1, hi)
+            next_intervals.extend((lower, upper))
+
+            m1 = _match_round(adj_f32, lower, upper, upper, selection, stats, rng)
+            m2 = _match_round(adj_f32, upper, lower, lower, selection, stats, rng)
+            stats.agent_successes += len(m1) + len(m2)
+            _count_attempts(adj, lower, upper, stats)
+            _count_attempts(adj, upper, lower, stats)
+
+            for searcher, agent in m1.items():
+                agents_of[searcher] = agent
+                origins_of[agent] = searcher
+                transfers.append((searcher, agent, upper))
+            for searcher, agent in m2.items():
+                agents_of[searcher] = agent
+                origins_of[agent] = searcher
+                transfers.append((searcher, agent, lower))
+
+        # ---- snapshot-consistent descriptor computation (Lines 31-49) ----
+        descriptors: dict[int, dict[int, set[int]]] = {}
+        sent_blocks: dict[int, tuple[int, ...]] = {}
+        for giver, agent, (h2_lo, h2_hi) in transfers:
+            d: dict[int, set[int]] = {}
+            for src, targets in duties[giver].items():
+                moved = {v for v in targets if h2_lo <= v < h2_hi}
+                if moved:
+                    d[src] = moved
+            descriptors[giver] = d
+            sent_blocks[giver] = tuple(blocks[giver])
+            stats.descriptor_messages += 1
+            # Line 30: notify outgoing neighbors in h2 about the new agent.
+            stats.notification_messages += int(
+                np.count_nonzero(adj[giver, h2_lo:h2_hi])
+            )
+
+        # ---- record steps for every participating rank --------------------
+        pair_lists: dict[int, tuple[tuple[int, int], ...]] = {}
+        if record_pairs:
+            for giver in descriptors:
+                pair_lists[giver] = tuple(
+                    (src, tgt)
+                    for src in sorted(descriptors[giver])
+                    for tgt in sorted(descriptors[giver][src])
+                )
+
+        touched = set(agents_of) | set(origins_of)
+        for r in sorted(touched):
+            agent = agents_of.get(r)
+            origin = origins_of.get(r)
+            recv_blocks: tuple[int, ...] = ()
+            recv_for_me: tuple[int, ...] = ()
+            if origin is not None:
+                recv_blocks = sent_blocks[origin]
+                d_in = descriptors[origin]
+                seen: set[int] = set()
+                for_me = []
+                for src in recv_blocks:
+                    if src not in seen and r in d_in.get(src, ()):
+                        for_me.append(src)
+                        seen.add(src)
+                recv_for_me = tuple(for_me)
+            patterns[r].steps.append(
+                HalvingStep(
+                    index=t,
+                    agent=agent,
+                    origin=origin,
+                    send_block_count=len(sent_blocks[r]) if agent is not None else 0,
+                    recv_blocks=recv_blocks,
+                    recv_for_me=recv_for_me,
+                    send_pairs=pair_lists.get(r) if agent is not None else None,
+                    recv_pairs=pair_lists.get(origin) if origin is not None else None,
+                )
+            )
+
+        # ---- apply removals, then merges ----------------------------------
+        for giver, agent, _ in transfers:
+            d = descriptors[giver]
+            my_duties = duties[giver]
+            for src, moved in d.items():
+                remaining = my_duties[src] - moved
+                if remaining:
+                    my_duties[src] = remaining
+                else:
+                    del my_duties[src]
+        for giver, agent, _ in transfers:
+            d = descriptors[giver]
+            agent_duties = duties[agent]
+            for src, moved in d.items():
+                pending = moved - {agent}  # agent-as-target delivered on receive
+                if pending:
+                    existing = agent_duties.get(src)
+                    if existing is None:
+                        agent_duties[src] = set(pending)
+                    else:
+                        existing |= pending
+            blocks[agent].extend(sent_blocks[giver])
+
+        intervals = next_intervals
+        t += 1
+
+    stats.levels = t
+    _build_final_phase(patterns, duties, blocks)
+    return CommunicationPattern(n=n, ranks_per_socket=L, ranks=patterns, stats=stats)
+
+
+def _match_round(
+    adj_f32: np.ndarray,
+    searcher_iv: tuple[int, int],
+    acceptor_iv: tuple[int, int],
+    half_iv: tuple[int, int],
+    selection: str,
+    stats: PatternStats,
+    rng: np.random.Generator,
+) -> dict[int, int]:
+    """One matching round: searchers pick agents among acceptors.
+
+    ``half_iv`` is the opposite half the shared-outgoing-neighbor scores
+    are restricted to (equal to ``acceptor_iv`` — agents always live in the
+    searcher's ``h2``).
+    """
+    s_lo, s_hi = searcher_iv
+    a_lo, a_hi = acceptor_iv
+    h_lo, h_hi = half_iv
+    scores = adj_f32[s_lo:s_hi, h_lo:h_hi] @ adj_f32[a_lo:a_hi, h_lo:h_hi].T
+    searchers = list(range(s_lo, s_hi))
+    acceptors = list(range(a_lo, a_hi))
+    if selection == "protocol":
+        outcome: NegotiationOutcome = protocol_matching(searchers, acceptors, scores)
+        stats.protocol_messages += outcome.total_messages
+        return outcome.matching
+    if selection == "random":
+        return random_matching(searchers, acceptors, scores, rng)
+    return greedy_matching(searchers, acceptors, scores)
+
+
+def _count_attempts(
+    adj: np.ndarray,
+    searcher_iv: tuple[int, int],
+    h2_iv: tuple[int, int],
+    stats: PatternStats,
+) -> None:
+    """Count ranks that *needed* an agent this round (own targets in h2)."""
+    s_lo, s_hi = searcher_iv
+    h_lo, h_hi = h2_iv
+    stats.agent_attempts += int(adj[s_lo:s_hi, h_lo:h_hi].any(axis=1).sum())
+
+
+def _build_final_phase(
+    patterns: list[RankPattern],
+    duties: list[dict[int, set[int]]],
+    blocks: list[list[int]],
+) -> None:
+    """Turn remaining duties into final-phase send/recv lists (Lines 19-33 of
+    Algorithm 4): one combined message per (deliverer, target) pair."""
+    recvs: dict[int, list[FinalRecv]] = defaultdict(list)
+    for c, my_duties in enumerate(duties):
+        if not my_duties:
+            continue
+        order_index: dict[int, int] = {}
+        for i, src in enumerate(blocks[c]):
+            order_index.setdefault(src, i)
+        tmap: dict[int, list[int]] = defaultdict(list)
+        for src in sorted(my_duties, key=order_index.__getitem__):
+            for v in my_duties[src]:
+                tmap[v].append(src)
+        for v in sorted(tmap):
+            fs = FinalSend(target=v, blocks=tuple(tmap[v]))
+            patterns[c].final_sends.append(fs)
+            recvs[v].append(FinalRecv(sender=c, blocks=fs.blocks))
+    for v, lst in recvs.items():
+        patterns[v].final_recvs = sorted(lst, key=lambda fr: fr.sender)
+
+
+def check_pattern(topology: DistGraphTopology, pattern: CommunicationPattern) -> None:
+    """Assert the exactly-once delivery invariant and buffer consistency.
+
+    Every topology edge ``(u, v)`` must be delivered to ``v`` exactly once:
+    as a self-loop local copy, via ``recv_for_me`` during halving, or in a
+    final-phase message.  Raises :class:`AssertionError` otherwise.
+    """
+    deliveries: dict[tuple[int, int], int] = defaultdict(int)
+    for rp in pattern.ranks:
+        if rp.self_copy:
+            deliveries[(rp.rank, rp.rank)] += 1
+        for step in rp.steps:
+            for src in step.recv_for_me:
+                deliveries[(src, rp.rank)] += 1
+        for fr in rp.final_recvs:
+            for src in fr.blocks:
+                deliveries[(src, rp.rank)] += 1
+
+    expected = set(topology.edges())
+    got = set(deliveries)
+    missing = expected - got
+    extra = got - expected
+    if missing:
+        raise AssertionError(f"edges never delivered: {sorted(missing)[:10]} ...")
+    if extra:
+        raise AssertionError(f"deliveries for non-edges: {sorted(extra)[:10]} ...")
+    dupes = {e: c for e, c in deliveries.items() if c != 1}
+    if dupes:
+        raise AssertionError(f"edges delivered more than once: {dict(list(dupes.items())[:10])}")
+
+    # Send/recv lists must mirror each other.
+    sends = {
+        (rp.rank, fs.target, fs.blocks) for rp in pattern.ranks for fs in rp.final_sends
+    }
+    recvs = {
+        (fr.sender, rp.rank, fr.blocks) for rp in pattern.ranks for fr in rp.final_recvs
+    }
+    if sends != recvs:
+        raise AssertionError(
+            f"final-phase send/recv mismatch: only-sends={list(sends - recvs)[:5]}, "
+            f"only-recvs={list(recvs - sends)[:5]}"
+        )

@@ -1,0 +1,32 @@
+"""The paper's analytic performance model (Section V, Eqs. 1-8).
+
+Hockney-based expectations for the naive and Distance Halving algorithms on
+Erdős–Rényi virtual topologies, used to regenerate Fig. 2 and the message
+count example of Section V-A, and validated against the simulator.
+"""
+
+from repro.model.equations import (
+    ModelParams,
+    dh_total_time,
+    expected_intra_messages,
+    expected_intra_message_size,
+    expected_off_socket_messages,
+    naive_messages,
+    naive_total_time,
+)
+from repro.model.comparison import ModelComparison, model_grid
+from repro.model.validation import ModelValidation, validate_model
+
+__all__ = [
+    "ModelValidation",
+    "validate_model",
+    "ModelParams",
+    "expected_off_socket_messages",
+    "expected_intra_messages",
+    "expected_intra_message_size",
+    "naive_messages",
+    "naive_total_time",
+    "dh_total_time",
+    "ModelComparison",
+    "model_grid",
+]

@@ -1,0 +1,81 @@
+"""Model-vs-model and model-vs-simulation comparison grids (Fig. 2).
+
+:func:`model_grid` evaluates both algorithms' expected times over a
+(density x message size) grid at the paper's machine scale and reports the
+predicted speedup — the content of Fig. 2.  The benchmarks print it as rows;
+EXPERIMENTS.md records it against the paper's plotted trends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.equations import ModelParams, dh_total_time, naive_total_time
+from repro.utils.sizes import format_size, parse_size
+
+#: The paper's Fig. 2 axes (densities and message sizes).
+FIG2_DENSITIES = (0.05, 0.1, 0.2, 0.3, 0.5, 0.7)
+FIG2_SIZES = tuple(8 * 4**i for i in range(10))  # 8B ... ~2MB, then 4MB
+FIG2_SIZES = FIG2_SIZES + (4 * 1024 * 1024,)
+
+
+@dataclass
+class ModelComparison:
+    """Grid of model predictions: times and speedups per (density, size)."""
+
+    params: ModelParams
+    densities: tuple[float, ...]
+    sizes: tuple[int, ...]
+    naive_time: np.ndarray  #: shape (len(densities), len(sizes))
+    dh_time: np.ndarray     #: same shape
+
+    @property
+    def speedup(self) -> np.ndarray:
+        """Predicted naive/DH time ratio (> 1 where DH wins)."""
+        return self.naive_time / self.dh_time
+
+    def crossover_size(self, density: float) -> int | None:
+        """Largest benchmarked size where DH still wins for ``density``.
+
+        Returns ``None`` if DH never wins at this density.
+        """
+        i = self.densities.index(density)
+        winning = np.flatnonzero(self.speedup[i] > 1.0)
+        return self.sizes[int(winning[-1])] if winning.size else None
+
+    def rows(self) -> list[dict]:
+        """Flat records for reporting: one per (density, size)."""
+        out = []
+        for i, d in enumerate(self.densities):
+            for j, s in enumerate(self.sizes):
+                out.append(
+                    {
+                        "density": d,
+                        "msg_size": s,
+                        "msg_label": format_size(s),
+                        "naive_time": float(self.naive_time[i, j]),
+                        "dh_time": float(self.dh_time[i, j]),
+                        "speedup": float(self.speedup[i, j]),
+                    }
+                )
+        return out
+
+
+def model_grid(
+    params: ModelParams,
+    densities: tuple[float, ...] = FIG2_DENSITIES,
+    sizes: tuple[int | str, ...] = FIG2_SIZES,
+) -> ModelComparison:
+    """Evaluate Eqs. (5) and (8) over a density x size grid."""
+    sizes_b = tuple(parse_size(s) for s in sizes)
+    d = np.asarray(densities, dtype=float)[:, None]
+    m = np.asarray(sizes_b, dtype=float)[None, :]
+    return ModelComparison(
+        params=params,
+        densities=tuple(densities),
+        sizes=sizes_b,
+        naive_time=naive_total_time(params, d, m),
+        dh_time=dh_total_time(params, d, m),
+    )

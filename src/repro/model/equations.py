@@ -1,0 +1,144 @@
+"""Equations (1)-(8) of the paper, vectorized over message size and density.
+
+Notation (Table I / Section V):
+
+* ``n`` — communicator size, ``S`` — sockets per node, ``L`` — ranks per
+  socket, ``delta`` — Erdős–Rényi edge probability, ``m`` — message bytes.
+* ``alpha``/``beta`` — Hockney latency (s) and bandwidth (bytes/s), fitted
+  from ping-pong (see :mod:`repro.cluster.calibration`).
+* ``steps = ceil(log2(n / L)) + 1`` — the paper's halving step count.
+
+All equation functions accept scalars or numpy arrays for ``delta`` and
+``m`` and broadcast.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Machine constants of the model."""
+
+    n: int          #: communicator size
+    sockets: int    #: S, sockets per node
+    ranks_per_socket: int  #: L
+    alpha: float    #: Hockney latency (s)
+    beta: float     #: Hockney bandwidth (bytes/s)
+
+    def __post_init__(self) -> None:
+        check_positive("n", self.n)
+        check_positive("sockets", self.sockets)
+        check_positive("ranks_per_socket", self.ranks_per_socket)
+        check_positive("alpha", self.alpha)
+        check_positive("beta", self.beta)
+        if self.n < self.ranks_per_socket:
+            raise ValueError(
+                f"n={self.n} smaller than ranks_per_socket={self.ranks_per_socket}"
+            )
+
+    @property
+    def halving_steps(self) -> int:
+        """``ceil(log2(n/L)) + 1`` — the paper's step count."""
+        return math.ceil(math.log2(self.n / self.ranks_per_socket)) + 1
+
+    @classmethod
+    def from_machine(cls, machine, alpha: float | None = None, beta: float | None = None):
+        """Derive from a :class:`~repro.cluster.Machine` (+ optional fit)."""
+        from repro.cluster.calibration import calibrate
+
+        if alpha is None or beta is None:
+            fit = calibrate(machine)
+            alpha = fit.alpha if alpha is None else alpha
+            beta = fit.beta if beta is None else beta
+        return cls(
+            n=machine.spec.n_ranks,
+            sockets=machine.spec.sockets_per_node,
+            ranks_per_socket=machine.spec.ranks_per_socket,
+            alpha=alpha,
+            beta=beta,
+        )
+
+
+def expected_off_socket_messages(params: ModelParams, delta) -> np.ndarray:
+    """Eq. (1): ``E[n_off] = min(ceil(log2(n/L)) + 1, delta * (n - L))``."""
+    delta = np.asarray(delta, dtype=float)
+    steps = params.halving_steps
+    return np.minimum(steps, delta * (params.n - params.ranks_per_socket))
+
+
+def expected_intra_messages(params: ModelParams, delta) -> np.ndarray:
+    """Eq. (2): ``E[n_in] = (1 - (1 - delta)^(steps + 1)) * L``.
+
+    The exponent is ``ceil(log2(n/L)) + 2`` in the paper's notation, i.e.
+    one more than the step count.
+    """
+    delta = np.asarray(delta, dtype=float)
+    exponent = params.halving_steps + 1
+    return (1.0 - (1.0 - delta) ** exponent) * params.ranks_per_socket
+
+
+def expected_intra_message_size(params: ModelParams, delta, m) -> np.ndarray:
+    """Eq. (3): ``E[m_in] = delta * E[n_in] * m``."""
+    delta = np.asarray(delta, dtype=float)
+    m = np.asarray(m, dtype=float)
+    return delta * expected_intra_messages(params, delta) * m
+
+
+def naive_messages(params: ModelParams, delta) -> np.ndarray:
+    """Messages per rank under the naive algorithm: ``delta * n``."""
+    return np.asarray(delta, dtype=float) * params.n
+
+
+def naive_rank_time(params: ModelParams, delta, m) -> np.ndarray:
+    """Eq. (4): ``E[t_r(naive)] = 2 * delta * n * (alpha + m / beta)``."""
+    delta = np.asarray(delta, dtype=float)
+    m = np.asarray(m, dtype=float)
+    return 2.0 * delta * params.n * (params.alpha + m / params.beta)
+
+
+def naive_total_time(params: ModelParams, delta, m) -> np.ndarray:
+    """Eq. (5): ``E[t(naive)] = S * L * E[t_r(naive)]``."""
+    return params.sockets * params.ranks_per_socket * naive_rank_time(params, delta, m)
+
+
+def dh_off_socket_time(params: ModelParams, delta, m) -> np.ndarray:
+    """Eq. (6): geometric series of doubling messages.
+
+    ``E[t_off] = E[n_off] * alpha + (2^(E[n_off] + 1) - 1) * m / beta``.
+    """
+    n_off = expected_off_socket_messages(params, delta)
+    m = np.asarray(m, dtype=float)
+    return n_off * params.alpha + (np.exp2(n_off + 1.0) - 1.0) * m / params.beta
+
+
+def dh_intra_socket_time(params: ModelParams, delta, m) -> np.ndarray:
+    """Eq. (7): ``E[t_in] = E[n_in] * (alpha + E[m_in] / beta)``."""
+    n_in = expected_intra_messages(params, delta)
+    m_in = expected_intra_message_size(params, delta, m)
+    return n_in * (params.alpha + m_in / params.beta)
+
+
+def dh_total_time(params: ModelParams, delta, m) -> np.ndarray:
+    """Eq. (8): ``E[t(DH)] = 2 * S * L * (E[t_off] + E[t_in])``."""
+    return (
+        2.0
+        * params.sockets
+        * params.ranks_per_socket
+        * (dh_off_socket_time(params, delta, m) + dh_intra_socket_time(params, delta, m))
+    )
+
+
+def dh_messages(params: ModelParams, delta) -> np.ndarray:
+    """Average messages per rank under DH: off-socket + intra-socket.
+
+    Section V-A's worked example: n=2000, L=20, delta=0.3 gives ~23
+    messages (7 off-socket + 16 intra-socket) vs 600 naive.
+    """
+    return expected_off_socket_messages(params, delta) + expected_intra_messages(params, delta)

@@ -1,0 +1,34 @@
+"""Discrete-event MPI simulator.
+
+Rank programs are Python generators that post non-blocking operations on a
+:class:`SimCommunicator` and ``yield`` wait conditions; the :class:`Engine`
+advances virtual time deterministically.  Message timing is computed by the
+:class:`Fabric` from the :class:`~repro.cluster.Machine`'s Hockney costs,
+with cut-through pipelining over serialized resources (per-rank ports,
+per-node NICs, shared global links) so congestion emerges naturally.
+
+The semantics intentionally mirror the paper's modelling assumptions:
+single-port ranks, eager delivery, and serialized node injection.
+"""
+
+from repro.sim.communicator import ANY_SOURCE, SimCommunicator
+from repro.sim.engine import DeadlockError, Engine
+from repro.sim.fabric import Fabric, MessageTiming
+from repro.sim.request import Request
+from repro.sim.timeline import chrome_trace, phase_breakdown, save_chrome_trace
+from repro.sim.tracing import MessageRecord, TraceCollector
+
+__all__ = [
+    "chrome_trace",
+    "phase_breakdown",
+    "save_chrome_trace",
+    "ANY_SOURCE",
+    "SimCommunicator",
+    "Engine",
+    "DeadlockError",
+    "Fabric",
+    "MessageTiming",
+    "Request",
+    "MessageRecord",
+    "TraceCollector",
+]

@@ -1,0 +1,329 @@
+"""The discrete-event engine: processes, matching, waits, barriers.
+
+Each rank runs a *program*: a generator that posts operations through its
+:class:`~repro.sim.communicator.SimCommunicator` and yields wait conditions.
+The engine is fully deterministic — events are ordered by ``(time, seq)``
+where ``seq`` is allocation order — and detects deadlock (all processes
+blocked with an empty event heap).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from typing import Callable, Generator, Iterable
+
+from repro.cluster.machine import Machine
+from repro.cluster.spec import LinkClass
+from repro.sim.fabric import Fabric
+from repro.sim.request import Request, RequestKind
+from repro.sim.tracing import TraceCollector
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the event heap empties while processes are still blocked."""
+
+
+class _WaitAll:
+    """Condition: resume when every request in ``requests`` has completed."""
+
+    __slots__ = ("requests",)
+
+    def __init__(self, requests: Iterable[Request]):
+        self.requests = tuple(requests)
+
+
+class _Compute:
+    """Condition: resume after ``duration`` seconds of local work."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise ValueError(f"compute duration must be >= 0, got {duration}")
+        self.duration = duration
+
+
+class _Barrier:
+    """Condition: resume when all ranks have entered the barrier."""
+
+    __slots__ = ()
+
+
+class _WaitState:
+    """Bookkeeping for one blocked process."""
+
+    __slots__ = ("rank", "start", "remaining", "latest")
+
+    def __init__(self, rank: int, start: float):
+        self.rank = rank
+        self.start = start
+        self.remaining = 0
+        self.latest = start
+
+
+class _Unexpected:
+    """A delivered message with no matching posted receive yet."""
+
+    __slots__ = ("src", "tag", "nbytes", "payload", "arrival", "consumed")
+
+    def __init__(self, src: int, tag: int, nbytes: int, payload, arrival: float):
+        self.src = src
+        self.tag = tag
+        self.nbytes = nbytes
+        self.payload = payload
+        self.arrival = arrival
+        self.consumed = False
+
+
+class Engine:
+    """Deterministic discrete-event simulator over ``n_ranks`` processes."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        machine: Machine,
+        trace: TraceCollector | None = None,
+        noise_seed: int = 0,
+    ):
+        if n_ranks <= 0:
+            raise ValueError(f"n_ranks must be > 0, got {n_ranks}")
+        if n_ranks > machine.spec.n_ranks:
+            raise ValueError(
+                f"n_ranks={n_ranks} exceeds machine capacity {machine.spec.n_ranks}"
+            )
+        self.n_ranks = n_ranks
+        self.machine = machine
+        self.fabric = Fabric(machine, noise_seed=noise_seed)
+        self.trace = trace
+
+        self.now = 0.0
+        self.rank_now = [0.0] * n_ranks
+        self._heap: list[tuple[float, int, int]] = []
+        self._seq = 0
+        self._programs: dict[int, Generator] = {}
+        self._finished: dict[int, float] = {}
+        self._blocked: dict[int, str] = {}
+
+        # Per-destination matching state.
+        self._posted: list[dict[tuple[int, int], deque[Request]]] = [dict() for _ in range(n_ranks)]
+        self._posted_any: list[dict[int, deque[Request]]] = [dict() for _ in range(n_ranks)]
+        self._unexpected: list[dict[tuple[int, int], deque[_Unexpected]]] = [
+            dict() for _ in range(n_ranks)
+        ]
+        self._unexpected_any: list[dict[int, deque[_Unexpected]]] = [dict() for _ in range(n_ranks)]
+
+        # Barrier state.
+        self._barrier_waiting: list[int] = []
+        self._barrier_latest = 0.0
+
+        # Aggregate statistics.
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+        from repro.sim.communicator import SimCommunicator  # late: avoids cycle
+
+        self.comms = [SimCommunicator(self, rank) for rank in range(n_ranks)]
+
+    # ------------------------------------------------------------------ setup
+    def spawn(self, rank: int, program: Callable[..., Generator]) -> None:
+        """Install ``program(comm)`` as the process for ``rank``."""
+        if rank in self._programs or rank in self._finished:
+            raise ValueError(f"rank {rank} already has a program")
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.n_ranks})")
+        gen = program(self.comms[rank])
+        if gen is None:
+            # Program did all its (zero-cost) work synchronously.
+            self._finished[rank] = 0.0
+            return
+        self._programs[rank] = gen
+        self._schedule(0.0, rank)
+
+    def spawn_all(self, program_factory: Callable[[int], Callable]) -> None:
+        """Spawn ``program_factory(rank)`` for every rank."""
+        for rank in range(self.n_ranks):
+            self.spawn(rank, program_factory(rank))
+
+    # ------------------------------------------------------------------- time
+    def _schedule(self, time: float, rank: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, rank))
+
+    def run(self) -> float:
+        """Run to completion; returns the makespan (max finish time)."""
+        while self._heap:
+            time, _, rank = heapq.heappop(self._heap)
+            self.now = time
+            self._resume(rank, time)
+        if self._programs:
+            detail = ", ".join(
+                f"rank {r} ({self._blocked.get(r, 'runnable')})" for r in sorted(self._programs)
+            )
+            raise DeadlockError(f"simulation deadlocked; blocked processes: {detail}")
+        return self.makespan()
+
+    def makespan(self) -> float:
+        return max(self._finished.values(), default=0.0)
+
+    def finish_time(self, rank: int) -> float:
+        return self._finished[rank]
+
+    def finish_times(self) -> dict[int, float]:
+        return dict(self._finished)
+
+    # ---------------------------------------------------------------- resume
+    def _resume(self, rank: int, time: float) -> None:
+        gen = self._programs.get(rank)
+        if gen is None:  # stale event (e.g. barrier resumed earlier); ignore
+            return
+        self.rank_now[rank] = max(self.rank_now[rank], time)
+        try:
+            condition = next(gen)
+        except StopIteration:
+            del self._programs[rank]
+            self._blocked.pop(rank, None)
+            self._finished[rank] = self.rank_now[rank]
+            return
+        self._handle_condition(rank, condition)
+
+    def _handle_condition(self, rank: int, condition) -> None:
+        now = self.rank_now[rank]
+        if isinstance(condition, _Compute):
+            self._blocked[rank] = "compute"
+            self._schedule(now + condition.duration, rank)
+        elif isinstance(condition, _WaitAll):
+            self._begin_wait(rank, condition.requests)
+        elif isinstance(condition, _Barrier):
+            self._enter_barrier(rank)
+        else:
+            raise TypeError(
+                f"rank {rank} yielded {condition!r}; programs must yield wait conditions "
+                "from SimCommunicator (waitall/wait/compute/memcpy/barrier)"
+            )
+
+    def _begin_wait(self, rank: int, requests: tuple[Request, ...]) -> None:
+        state = _WaitState(rank, self.rank_now[rank])
+        for req in requests:
+            if req.owner != rank:
+                raise ValueError(f"rank {rank} waiting on request owned by rank {req.owner}")
+            if req.determined:
+                if req.completion_time > state.latest:
+                    state.latest = req.completion_time
+            else:
+                if req._waiter is not None:
+                    raise RuntimeError("request already has a waiter")
+                req._waiter = state
+                state.remaining += 1
+        if state.remaining == 0:
+            self._schedule(state.latest, rank)
+        else:
+            self._blocked[rank] = f"waitall({state.remaining} pending)"
+            state.rank = rank
+
+    def _request_determined(self, req: Request) -> None:
+        """A pending request just completed; unblock its waiter if any."""
+        state = req._waiter
+        if state is None:
+            return
+        req._waiter = None
+        if req.completion_time > state.latest:
+            state.latest = req.completion_time
+        state.remaining -= 1
+        if state.remaining == 0:
+            self._blocked.pop(state.rank, None)
+            self._schedule(state.latest, state.rank)
+
+    def _enter_barrier(self, rank: int) -> None:
+        self._blocked[rank] = "barrier"
+        self._barrier_waiting.append(rank)
+        if self.rank_now[rank] > self._barrier_latest:
+            self._barrier_latest = self.rank_now[rank]
+        live = len(self._programs)
+        if len(self._barrier_waiting) == live:
+            # Dissemination-barrier cost model: ceil(log2 n) network latencies.
+            alpha = self.machine.params.cost(LinkClass.INTER_NODE).alpha
+            cost = math.ceil(math.log2(max(2, live))) * alpha
+            release = self._barrier_latest + cost
+            for r in self._barrier_waiting:
+                self._blocked.pop(r, None)
+                self._schedule(release, r)
+            self._barrier_waiting = []
+            self._barrier_latest = 0.0
+
+    # -------------------------------------------------------------- messaging
+    def post_send(self, src: int, dst: int, nbytes: int, tag: int, payload) -> Request:
+        """Schedule a message; returns the (already determined) send request."""
+        if not 0 <= dst < self.n_ranks:
+            raise ValueError(f"destination rank {dst} out of range [0, {self.n_ranks})")
+        post_time = self.rank_now[src]
+        timing = self.fabric.transmit(src, dst, nbytes, post_time)
+        req = Request(RequestKind.SEND, src, dst, tag, post_time)
+        req.complete(timing.send_complete)
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if self.trace is not None:
+            self.trace.record(src, dst, nbytes, tag, timing, post_time)
+        self._deliver(src, dst, tag, nbytes, payload, timing.arrival)
+        return req
+
+    def post_recv(self, dst: int, src: int | None, tag: int) -> Request:
+        """Post a receive; ``src=None`` matches any source (MPI_ANY_SOURCE)."""
+        now = self.rank_now[dst]
+        req = Request(RequestKind.RECV, dst, src, tag, now)
+        msg = self._match_unexpected(dst, src, tag)
+        if msg is not None:
+            self._complete_recv(req, msg.src, msg.nbytes, msg.payload, msg.arrival)
+        elif src is None:
+            self._posted_any[dst].setdefault(tag, deque()).append(req)
+        else:
+            self._posted[dst].setdefault((src, tag), deque()).append(req)
+        return req
+
+    def _match_unexpected(self, dst: int, src: int | None, tag: int) -> _Unexpected | None:
+        if src is None:
+            queue = self._unexpected_any[dst].get(tag)
+        else:
+            queue = self._unexpected[dst].get((src, tag))
+        while queue:
+            msg = queue.popleft()
+            if not msg.consumed:
+                msg.consumed = True
+                return msg
+        return None
+
+    def _complete_recv(self, req: Request, src: int, nbytes: int, payload, arrival: float) -> None:
+        req.source = src
+        req.nbytes = nbytes
+        req.payload = payload
+        req.complete(arrival if arrival > req.post_time else req.post_time)
+        self._request_determined(req)
+
+    def _deliver(self, src: int, dst: int, tag: int, nbytes: int, payload, arrival: float) -> None:
+        posted = self._posted[dst].get((src, tag))
+        if posted:
+            req = posted.popleft()
+            self._complete_recv(req, src, nbytes, payload, arrival)
+            return
+        posted_any = self._posted_any[dst].get(tag)
+        if posted_any:
+            req = posted_any.popleft()
+            self._complete_recv(req, src, nbytes, payload, arrival)
+            return
+        msg = _Unexpected(src, tag, nbytes, payload, arrival)
+        self._unexpected[dst].setdefault((src, tag), deque()).append(msg)
+        self._unexpected_any[dst].setdefault(tag, deque()).append(msg)
+
+    # ------------------------------------------------------------- conditions
+    @staticmethod
+    def waitall_condition(requests: Iterable[Request]) -> _WaitAll:
+        return _WaitAll(requests)
+
+    @staticmethod
+    def compute_condition(duration: float) -> _Compute:
+        return _Compute(duration)
+
+    @staticmethod
+    def barrier_condition() -> _Barrier:
+        return _Barrier()

@@ -1,0 +1,150 @@
+"""Message transit-time computation over the machine model.
+
+A message from ``src`` to ``dst`` flows through a pipeline of serialized
+resources:
+
+    send port -> [node TX NIC] -> [shared bottleneck links...] -> [node RX NIC] -> recv port
+
+Each stage is exclusively occupied for the message's serialization time on
+that stage (cut-through: a stage may start as soon as the previous stage
+started, but stages never finish before their upstream).  The message
+arrives at the receiver at the pipeline's end plus the path startup latency.
+Uncontended, this reduces exactly to Hockney's ``alpha + m/beta``; under
+load, queueing at ports/NICs/global links produces the serialization and
+congestion effects the paper's Section IV describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+from repro.cluster.spec import LinkClass
+from repro.sim.resources import ResourcePool, SerialResource
+
+
+@dataclass(frozen=True, slots=True)
+class MessageTiming:
+    """Timing of one message: when the sender's port frees, when data lands."""
+
+    send_complete: float
+    arrival: float
+    link_class: LinkClass
+
+
+class Fabric:
+    """Prices and schedules every message of a simulation run.
+
+    ``noise_seed`` drives the optional latency jitter
+    (:attr:`HockneyParameters.jitter`); with jitter 0 it is unused and the
+    fabric is exactly deterministic.
+    """
+
+    def __init__(self, machine: Machine, noise_seed: int = 0) -> None:
+        self.machine = machine
+        self._jitter = machine.params.jitter
+        self._noise = np.random.default_rng(noise_seed) if self._jitter > 0 else None
+        self._send_ports = ResourcePool()
+        self._recv_ports = ResourcePool()
+        self._nic_tx = ResourcePool()
+        self._nic_rx = ResourcePool()
+        self._links = ResourcePool()
+        # Memoized per-pair costs; rank-pair space can be huge, so key by the
+        # much smaller (socket, socket) pair which fully determines the cost.
+        self._pair_cache: dict[tuple[int, int], tuple[LinkClass, float, float]] = {}
+
+    # ----------------------------------------------------------------- lookup
+    def _pair_costs(self, src: int, dst: int) -> tuple[LinkClass, float, float, float]:
+        """(class, port occupancy alpha, hop surcharge, inverse beta), cached."""
+        spec = self.machine.spec
+        key = (spec.socket_of(src), spec.socket_of(dst))
+        cached = self._pair_cache.get(key)
+        if cached is None:
+            cls = self.machine.link_class(src, dst)
+            cost = self.machine.params.cost(cls)
+            hop_extra = self.machine.hop_extra_alpha(src, dst)
+            cached = (cls, cost.alpha, hop_extra, 1.0 / cost.beta)
+            self._pair_cache[key] = cached
+        return cached
+
+    # --------------------------------------------------------------- schedule
+    def transmit(self, src: int, dst: int, nbytes: int, post_time: float) -> MessageTiming:
+        """Schedule a message; claims all resources and returns its timing.
+
+        Endpoint ports serialize the full Hockney cost ``alpha + m/beta``
+        per message — the paper's single-port assumption (each rank sends
+        or receives one message at a time, paying startup per message).
+        Node NICs serialize ``nic_message_overhead + m/beta`` (message-rate
+        limit), producing the node-level serialization of the paper's
+        Eq. (5); shared global links serialize bandwidth.
+        """
+        params = self.machine.params
+        if src == dst:
+            dur = params.memcpy_time(nbytes)
+            return MessageTiming(post_time + dur, post_time + dur, LinkClass.SELF)
+
+        cls, alpha, hop_extra, inv_beta = self._pair_costs(src, dst)
+        if self._noise is not None:
+            noise = 1.0 + self._jitter * float(self._noise.random())
+            alpha *= noise
+            hop_extra *= noise
+        dur = nbytes * inv_beta
+        port_dur = alpha + dur
+
+        stages: list[tuple[SerialResource, float]] = [(self._send_ports.get(src), port_dur)]
+        if cls in (LinkClass.INTER_NODE, LinkClass.INTER_GROUP):
+            spec = self.machine.spec
+            node_src, node_dst = spec.node_of(src), spec.node_of(dst)
+            nic_dur = params.nic_message_overhead + dur
+            stages.append((self._nic_tx.get(node_src), nic_dur))
+            if cls is LinkClass.INTER_GROUP:
+                link_inv_beta = 1.0 / params.cost(LinkClass.INTER_GROUP).beta
+                link_dur = params.link_message_overhead + nbytes * link_inv_beta
+                for key in self._route(node_src, node_dst):
+                    stages.append((self._links.get(key), link_dur))
+            stages.append((self._nic_rx.get(node_dst), nic_dur))
+        stages.append((self._recv_ports.get(dst), port_dur))
+
+        prev_start = post_time
+        pipeline_end = post_time
+        send_complete = post_time
+        for i, (res, stage_dur) in enumerate(stages):
+            start, end = res.claim(prev_start, stage_dur)
+            if end < pipeline_end:
+                # A faster downstream stage cannot finish before upstream data
+                # has fully streamed through.
+                res.next_free = pipeline_end
+                end = pipeline_end
+            prev_start = start
+            pipeline_end = end
+            if i == 0:
+                send_complete = end
+        return MessageTiming(send_complete, pipeline_end + hop_extra, cls)
+
+    # ---------------------------------------------------------------- routing
+    def _route(self, node_src: int, node_dst: int):
+        """Pick the bottleneck lanes this message occupies.
+
+        With adaptive routing (default, UGAL-like) each choice group yields
+        its currently least-loaded lane; oblivious routing uses the
+        network's hash-selected lanes.
+        """
+        if not self.machine.params.adaptive_routing:
+            return self.machine.network.shared_link_keys(node_src, node_dst)
+        chosen = []
+        for group in self.machine.network.link_choices(node_src, node_dst):
+            chosen.append(min(group, key=lambda key: self._links.get(key).next_free))
+        return chosen
+
+    # -------------------------------------------------------------- reporting
+    def utilization(self, horizon: float) -> dict[str, dict]:
+        """Busy fractions per resource family over ``[0, horizon]``."""
+        return {
+            "send_ports": self._send_ports.utilization(horizon),
+            "recv_ports": self._recv_ports.utilization(horizon),
+            "nic_tx": self._nic_tx.utilization(horizon),
+            "nic_rx": self._nic_rx.utilization(horizon),
+            "links": self._links.utilization(horizon),
+        }

@@ -1,0 +1,143 @@
+"""Timeline analysis and Chrome-trace export for simulation runs.
+
+Traces collected by :class:`~repro.sim.tracing.TraceCollector` can be:
+
+* summarized per *phase* (:func:`phase_breakdown` — DH tags its halving
+  steps with the level index and the final phase with ``FINAL_TAG``, so the
+  breakdown shows where each algorithm's time and bytes go), and
+* exported to the Chrome / Perfetto ``chrome://tracing`` JSON format
+  (:func:`chrome_trace` / :func:`save_chrome_trace`): one row per rank,
+  one slice per message injection, plus flow arrows from sender to
+  receiver arrival.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Iterable
+
+from repro.sim.tracing import MessageRecord
+
+#: Tag of the Distance Halving final (intra-socket) phase.
+_FINAL_TAG = 1 << 20
+
+_US = 1e6  # chrome tracing uses microseconds
+
+
+def phase_name(tag: int) -> str:
+    """Human-readable phase for a message tag."""
+    if tag == _FINAL_TAG:
+        return "final"
+    if tag < 100:
+        return f"step {tag}"
+    return f"tag {tag}"
+
+
+def phase_breakdown(records: Iterable[MessageRecord]) -> dict[str, dict[str, float]]:
+    """Per-phase message/byte/time-span aggregates.
+
+    ``span`` is the wall-clock extent of the phase (first post to last
+    arrival) in simulated seconds.
+    """
+    stats: dict[str, dict[str, float]] = defaultdict(
+        lambda: {"messages": 0, "bytes": 0, "start": float("inf"), "end": 0.0}
+    )
+    for rec in records:
+        bucket = stats[phase_name(rec.tag)]
+        bucket["messages"] += 1
+        bucket["bytes"] += rec.nbytes
+        bucket["start"] = min(bucket["start"], rec.post_time)
+        bucket["end"] = max(bucket["end"], rec.arrival)
+    return {
+        name: {
+            "messages": int(b["messages"]),
+            "bytes": int(b["bytes"]),
+            "span": b["end"] - b["start"],
+            "start": b["start"],
+            "end": b["end"],
+        }
+        for name, b in sorted(stats.items())
+    }
+
+
+def chrome_trace(
+    records: Iterable[MessageRecord],
+    finish_times: dict[int, float] | None = None,
+    flows: bool = True,
+) -> dict:
+    """Build a ``chrome://tracing`` / Perfetto-compatible trace dict.
+
+    Rows (tids) are ranks; each message becomes a duration slice on the
+    sender's row covering its injection (post to send-complete) and,
+    optionally, a flow arrow landing at the receiver's arrival instant.
+    """
+    events: list[dict] = []
+    for flow_id, rec in enumerate(records):
+        name = f"{phase_name(rec.tag)} -> {rec.dst} ({rec.nbytes}B)"
+        dur = max(rec.send_complete - rec.post_time, 1e-9)
+        events.append(
+            {
+                "name": name,
+                "cat": rec.link_class.name,
+                "ph": "X",
+                "pid": 0,
+                "tid": rec.src,
+                "ts": rec.post_time * _US,
+                "dur": dur * _US,
+                "args": {"bytes": rec.nbytes, "tag": rec.tag, "dst": rec.dst},
+            }
+        )
+        if flows:
+            events.append(
+                {
+                    "name": "msg",
+                    "cat": "flow",
+                    "ph": "s",
+                    "id": flow_id,
+                    "pid": 0,
+                    "tid": rec.src,
+                    "ts": rec.send_complete * _US,
+                }
+            )
+            events.append(
+                {
+                    "name": "msg",
+                    "cat": "flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "pid": 0,
+                    "tid": rec.dst,
+                    "ts": rec.arrival * _US,
+                }
+            )
+    if finish_times:
+        for rank, t in sorted(finish_times.items()):
+            events.append(
+                {
+                    "name": "finish",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": rank,
+                    "ts": t * _US,
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"source": "repro discrete-event MPI simulator"},
+    }
+
+
+def save_chrome_trace(
+    path: str | Path,
+    records: Iterable[MessageRecord],
+    finish_times: dict[int, float] | None = None,
+) -> Path:
+    """Write the chrome trace JSON; open it at ``chrome://tracing``."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(records, finish_times)))
+    return path

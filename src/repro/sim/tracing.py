@@ -1,0 +1,89 @@
+"""Optional message tracing and aggregate statistics.
+
+Attach a :class:`TraceCollector` to an :class:`~repro.sim.engine.Engine` to
+record every message's (src, dst, size, class, timing).  The benchmarks use
+the per-class aggregates to report, e.g., how many bytes crossed global
+links under each algorithm — the quantity the paper's design minimizes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.cluster.spec import LinkClass
+from repro.sim.fabric import MessageTiming
+
+
+@dataclass(frozen=True, slots=True)
+class MessageRecord:
+    src: int
+    dst: int
+    nbytes: int
+    tag: int
+    link_class: LinkClass
+    post_time: float
+    send_complete: float
+    arrival: float
+
+
+class TraceCollector:
+    """Accumulates message records and per-class aggregates."""
+
+    def __init__(self, keep_records: bool = True, max_records: int = 1_000_000):
+        self.keep_records = keep_records
+        self.max_records = max_records
+        self.records: list[MessageRecord] = []
+        self.count_by_class: Counter[LinkClass] = Counter()
+        self.bytes_by_class: Counter[LinkClass] = Counter()
+        self.sends_by_rank: Counter[int] = Counter()
+        self.recvs_by_rank: Counter[int] = Counter()
+
+    def record(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        tag: int,
+        timing: MessageTiming,
+        post_time: float = 0.0,
+    ) -> None:
+        self.count_by_class[timing.link_class] += 1
+        self.bytes_by_class[timing.link_class] += nbytes
+        self.sends_by_rank[src] += 1
+        self.recvs_by_rank[dst] += 1
+        if self.keep_records and len(self.records) < self.max_records:
+            self.records.append(
+                MessageRecord(src, dst, nbytes, tag, timing.link_class,
+                              post_time, timing.send_complete, timing.arrival)
+            )
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def total_messages(self) -> int:
+        return sum(self.count_by_class.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_class.values())
+
+    def off_socket_messages(self) -> int:
+        """Messages that left a socket (the paper's ``n_off`` aggregate)."""
+        return sum(
+            count
+            for cls, count in self.count_by_class.items()
+            if cls not in (LinkClass.SELF, LinkClass.INTRA_SOCKET)
+        )
+
+    def max_sends_per_rank(self) -> int:
+        return max(self.sends_by_rank.values(), default=0)
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Per-class {messages, bytes} dict for reports."""
+        return {
+            cls.name: {
+                "messages": self.count_by_class.get(cls, 0),
+                "bytes": self.bytes_by_class.get(cls, 0),
+            }
+            for cls in LinkClass
+        }

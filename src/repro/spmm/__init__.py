@@ -1,0 +1,22 @@
+"""Sparse matrix-matrix multiplication kernel (paper Section VII-C).
+
+``Z = X @ Y`` with ``X`` sparse and block-striped row-wise; each rank
+gathers the stripes of ``Y`` it needs through ``MPI_Neighbor_allgather``
+over the topology induced by ``X``'s sparsity, then multiplies locally.
+
+The paper uses seven SuiteSparse matrices (Table II); without network
+access we generate seeded synthetic matrices matched to each one's size,
+nonzero count and structure class — the communication pattern depends only
+on these (see DESIGN.md's substitution table).
+"""
+
+from repro.spmm.matrices import TABLE_II, MatrixSpec, synthetic_matrix
+from repro.spmm.kernel import SpMMResult, run_spmm
+
+__all__ = [
+    "TABLE_II",
+    "MatrixSpec",
+    "synthetic_matrix",
+    "SpMMResult",
+    "run_spmm",
+]

@@ -1,0 +1,27 @@
+"""Virtual topologies: the communication graphs of neighborhood collectives.
+
+:class:`DistGraphTopology` mirrors the semantics of
+``MPI_Dist_graph_create_adjacent``: each rank has explicit *incoming* and
+*outgoing* neighbor lists.  Generators cover the paper's workloads:
+Erdős–Rényi random sparse graphs (Section VII-A), Moore neighborhoods
+(Section VII-B), Cartesian stencils, and topologies induced by the sparsity
+structure of a matrix (Section VII-C's SpMM kernel).
+"""
+
+from repro.topology.graph import DistGraphTopology
+from repro.topology.random_graphs import erdos_renyi_topology
+from repro.topology.moore import dims_create, moore_topology
+from repro.topology.cartesian import cartesian_topology
+from repro.topology.from_matrix import topology_from_sparse
+from repro.topology.scale_free import hub_spoke_topology, scale_free_topology
+
+__all__ = [
+    "DistGraphTopology",
+    "erdos_renyi_topology",
+    "moore_topology",
+    "dims_create",
+    "cartesian_topology",
+    "topology_from_sparse",
+    "scale_free_topology",
+    "hub_spoke_topology",
+]

@@ -1,0 +1,61 @@
+"""Cartesian (von Neumann stencil) topologies.
+
+Not used by the paper's headline figures, but the natural "hello world" of
+neighborhood collectives (2D/3D halo exchange) and exercised by the examples
+and tests.  Each rank talks to its ``2 * d`` axis-aligned neighbors.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.topology.graph import DistGraphTopology
+from repro.topology.moore import dims_create
+from repro.utils.validation import check_positive
+
+
+def cartesian_topology(
+    n: int,
+    d: int = 2,
+    dims: tuple[int, ...] | None = None,
+    periodic: bool = True,
+) -> DistGraphTopology:
+    """Von Neumann stencil: +-1 along each of ``d`` grid dimensions.
+
+    With ``periodic=False``, border ranks simply have fewer neighbors.
+    """
+    n = check_positive("n", n)
+    if dims is None:
+        d = check_positive("d", d)
+        dims = dims_create(n, d)
+    else:
+        dims = tuple(check_positive("dims[i]", x) for x in dims)
+        d = len(dims)
+    if math.prod(dims) != n:
+        raise ValueError(f"dims {dims} do not multiply to n={n}")
+
+    strides = [math.prod(dims[i + 1 :]) for i in range(d)]
+
+    def coord_of(rank: int) -> list[int]:
+        return [(rank // strides[i]) % dims[i] for i in range(d)]
+
+    def rank_of(coord: list[int]) -> int:
+        return sum(c * s for c, s in zip(coord, strides))
+
+    out_lists: list[list[int]] = []
+    for u in range(n):
+        coord = coord_of(u)
+        nbrs: set[int] = set()
+        for axis in range(d):
+            for step in (-1, 1):
+                c = list(coord)
+                c[axis] += step
+                if periodic:
+                    c[axis] %= dims[axis]
+                elif not 0 <= c[axis] < dims[axis]:
+                    continue
+                v = rank_of(c)
+                if v != u:
+                    nbrs.add(v)
+        out_lists.append(sorted(nbrs))
+    return DistGraphTopology(n, out_lists)

@@ -1,0 +1,112 @@
+"""Moore neighborhoods on a d-dimensional periodic grid (paper Section VII-B).
+
+Ranks sit on a ``d``-dimensional grid; each rank's neighbors are all ranks
+within Chebyshev distance ``r`` — exactly ``(2r+1)^d - 1`` neighbors, the
+count the paper quotes, which requires periodic (torus) boundaries.  Grid
+extents come from :func:`dims_create`, a balanced factorization equivalent
+to ``MPI_Dims_create``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.topology.graph import DistGraphTopology
+from repro.utils.validation import check_positive
+
+
+def dims_create(n: int, ndims: int) -> tuple[int, ...]:
+    """Balanced factorization of ``n`` into ``ndims`` factors, largest first.
+
+    Mirrors ``MPI_Dims_create(n, ndims)``: repeatedly assign the largest
+    prime factor to the currently smallest dimension, then sort descending.
+    """
+    n = check_positive("n", n)
+    ndims = check_positive("ndims", ndims)
+    dims = [1] * ndims
+    for prime in _prime_factors_desc(n):
+        dims.sort()
+        dims[0] *= prime
+    return tuple(sorted(dims, reverse=True))
+
+
+def _prime_factors_desc(n: int) -> list[int]:
+    factors: list[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return sorted(factors, reverse=True)
+
+
+def moore_topology(
+    n: int,
+    r: int = 1,
+    d: int = 2,
+    dims: tuple[int, ...] | None = None,
+) -> DistGraphTopology:
+    """Moore neighborhood of radius ``r`` on a ``d``-dimensional periodic grid.
+
+    Parameters
+    ----------
+    n:
+        Number of ranks (must equal the product of ``dims`` if given).
+    r:
+        Neighborhood radius (Chebyshev distance).
+    d:
+        Grid dimensionality (ignored when explicit ``dims`` are given).
+    dims:
+        Explicit grid extents; default is :func:`dims_create(n, d)`.
+
+    Notes
+    -----
+    Each rank gets ``(2r+1)^d - 1`` neighbors *unless* a grid extent is
+    smaller than ``2r+1``, in which case offsets wrap onto each other and
+    the neighborhood is the full extent in that dimension (deduplicated).
+    The graph is symmetric: in- and out-neighbor sets coincide.
+    """
+    n = check_positive("n", n)
+    r = check_positive("r", r)
+    if dims is None:
+        d = check_positive("d", d)
+        dims = dims_create(n, d)
+    else:
+        dims = tuple(check_positive("dims[i]", x) for x in dims)
+        d = len(dims)
+    if math.prod(dims) != n:
+        raise ValueError(f"dims {dims} do not multiply to n={n}")
+
+    strides = np.array([math.prod(dims[i + 1 :]) for i in range(d)], dtype=np.int64)
+    dims_arr = np.array(dims, dtype=np.int64)
+
+    # All ranks' coordinates at once: coords[u] = grid coordinate of rank u.
+    ranks = np.arange(n, dtype=np.int64)
+    coords = (ranks[:, None] // strides[None, :]) % dims_arr[None, :]
+
+    offsets = np.array(
+        [off for off in itertools.product(range(-r, r + 1), repeat=d) if any(off)],
+        dtype=np.int64,
+    )
+
+    out_lists: list[list[int]] = []
+    for u in range(n):
+        nbr_coords = (coords[u][None, :] + offsets) % dims_arr[None, :]
+        nbr_ranks = nbr_coords @ strides
+        nbrs = set(int(x) for x in nbr_ranks)
+        nbrs.discard(u)  # offsets wrapping fully around land on u itself
+        out_lists.append(sorted(nbrs))
+    return DistGraphTopology(n, out_lists)
+
+
+def moore_neighbor_count(r: int, d: int) -> int:
+    """``(2r+1)^d - 1`` — the paper's neighbor-count formula."""
+    check_positive("r", r)
+    check_positive("d", d)
+    return (2 * r + 1) ** d - 1

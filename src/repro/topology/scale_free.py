@@ -1,0 +1,78 @@
+"""Scale-free (imbalanced) topologies.
+
+Erdős–Rényi graphs are degree-uniform; many real HPC communication patterns
+(graph analytics, adaptive meshes) are heavily skewed, with hub processes
+talking to large fractions of the communicator.  The paper's load-aware
+agent selection is motivated exactly by such "imbalanced communication
+patterns" — these generators supply them for the ablation study.
+
+Two flavours:
+
+* :func:`scale_free_topology` — directed preferential attachment
+  (Barabási–Albert style): early ranks become hubs with high in/out degree.
+* :func:`hub_spoke_topology` — an explicit worst case: ``hubs`` ranks talk
+  to everyone, the rest only to the hubs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.graph import DistGraphTopology
+from repro.utils.rng import RandomState, resolve_rng
+from repro.utils.validation import check_positive
+
+
+def scale_free_topology(
+    n: int,
+    edges_per_rank: int = 4,
+    seed: RandomState = None,
+    symmetric: bool = True,
+) -> DistGraphTopology:
+    """Preferential-attachment topology: skewed degrees, early-rank hubs.
+
+    Each rank ``u >= 1`` draws ``min(u, edges_per_rank)`` distinct targets
+    among ranks ``< u`` with probability proportional to their current
+    degree (plus one).  With ``symmetric=True`` (default) edges go both
+    ways, like a halo exchange over a scale-free mesh; otherwise only
+    ``u -> target``.
+    """
+    n = check_positive("n", n)
+    edges_per_rank = check_positive("edges_per_rank", edges_per_rank)
+    rng = resolve_rng(seed)
+
+    degree = np.ones(n)
+    out: dict[int, set[int]] = {u: set() for u in range(n)}
+    for u in range(1, n):
+        k = min(u, edges_per_rank)
+        weights = degree[:u] / degree[:u].sum()
+        targets = rng.choice(u, size=k, replace=False, p=weights)
+        for v in targets:
+            v = int(v)
+            out[u].add(v)
+            degree[v] += 1
+            degree[u] += 1
+            if symmetric:
+                out[v].add(u)
+    return DistGraphTopology(n, {u: sorted(s) for u, s in out.items()})
+
+
+def hub_spoke_topology(n: int, hubs: int = 2) -> DistGraphTopology:
+    """Extreme imbalance: ``hubs`` ranks exchange with everyone.
+
+    Every hub has out/in degree ``n - 1``; every spoke talks only to the
+    hubs.  The naive algorithm serializes ``n - 1`` messages at each hub;
+    offloading is the only way out — the load-aware selection's home turf.
+    """
+    n = check_positive("n", n)
+    hubs = check_positive("hubs", hubs)
+    if hubs >= n:
+        raise ValueError(f"hubs={hubs} must be < n={n}")
+    out: dict[int, list[int]] = {}
+    hub_set = set(range(hubs))
+    for u in range(n):
+        if u in hub_set:
+            out[u] = [v for v in range(n) if v != u]
+        else:
+            out[u] = sorted(hub_set)
+    return DistGraphTopology(n, out)

@@ -1,0 +1,89 @@
+"""Closed integer rank intervals and halving arithmetic.
+
+The distance-halving algorithm repeatedly splits the rank interval
+``[0, n-1]`` around its midpoint.  :class:`Interval` captures the closed
+interval semantics used throughout Algorithm 1 of the paper (``h1``/``h2``),
+and :func:`halving_steps` gives the number of halving steps until at most
+``L`` ranks remain, matching the paper's ``ceil(log2(n / L))`` bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed integer interval ``[start, end]`` of ranks.
+
+    Iteration, containment and ``len`` behave like the equivalent
+    ``range(start, end + 1)``.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError(f"empty interval: start={self.start} > end={self.end}")
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    def __contains__(self, rank: int) -> bool:
+        return self.start <= rank <= self.end
+
+    def __iter__(self):
+        return iter(range(self.start, self.end + 1))
+
+    @property
+    def mid(self) -> int:
+        """Midpoint rank, ``floor((start + end) / 2)`` as in Algorithm 1."""
+        return (self.start + self.end) // 2
+
+    def split(self) -> tuple["Interval", "Interval"]:
+        """Split into (lower, upper) halves around :attr:`mid`.
+
+        The lower half always contains the midpoint, matching the paper's
+        ``p <= mid_rank`` test.  Splitting a single-element interval raises
+        :class:`ValueError`.
+        """
+        if len(self) < 2:
+            raise ValueError(f"cannot split interval of length {len(self)}")
+        return Interval(self.start, self.mid), Interval(self.mid + 1, self.end)
+
+    def halves_for(self, rank: int) -> tuple["Interval", "Interval"]:
+        """Return ``(h1, h2)`` for ``rank``: its own half and the opposite one."""
+        if rank not in self:
+            raise ValueError(f"rank {rank} not in {self}")
+        lower, upper = self.split()
+        return (lower, upper) if rank in lower else (upper, lower)
+
+    def intersect_sorted(self, ranks) -> list[int]:
+        """Intersect a sorted iterable of ranks with this interval."""
+        return [r for r in ranks if self.start <= r <= self.end]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start}..{self.end}]"
+
+
+def halving_steps(n: int, ranks_per_socket: int) -> int:
+    """Number of halving steps until at most ``ranks_per_socket`` ranks remain.
+
+    Starting from an interval of ``n`` ranks and halving (worst half keeps
+    ``ceil(size / 2)``), this returns how many splits occur before the
+    current half has ``<= ranks_per_socket`` members.  For powers of two
+    this equals ``ceil(log2(n / L))`` — the paper's step count (its
+    ``ceil(log(n/L)) + 1`` counts the same loop with a trailing increment).
+    """
+    n = check_positive("n", n)
+    L = check_positive("ranks_per_socket", ranks_per_socket)
+    steps = 0
+    size = n
+    while size > L:
+        size = math.ceil(size / 2)
+        steps += 1
+    return steps

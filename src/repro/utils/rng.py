@@ -1,0 +1,37 @@
+"""Seed / RNG resolution used by all stochastic generators in the package.
+
+Every public API that involves randomness takes a ``seed`` argument that may
+be ``None`` (fresh entropy), an integer, or an existing
+:class:`numpy.random.Generator`; :func:`resolve_rng` normalizes all three.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Type alias accepted by every ``seed=`` parameter in the package.
+RandomState = int | np.random.Generator | None
+
+
+def resolve_rng(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Passing an existing generator returns it unchanged (shared stream);
+    an int produces a deterministic fresh generator; ``None`` draws fresh
+    OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(f"seed must be None, int, or numpy Generator, got {type(seed).__name__}")
+
+
+def spawn_rng(rng: np.random.Generator, key: int) -> np.random.Generator:
+    """Derive an independent child generator from ``rng`` keyed by ``key``.
+
+    Used when a single experiment seed must fan out into per-trial or
+    per-rank streams without correlations.
+    """
+    seed = int(rng.integers(0, 2**63 - 1)) ^ (key * 0x9E3779B97F4A7C15 % (2**63))
+    return np.random.default_rng(seed % (2**63))

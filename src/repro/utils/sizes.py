@@ -1,0 +1,54 @@
+"""Human-friendly byte-size parsing and formatting for benchmark configs.
+
+The paper sweeps message sizes "from 8 bytes to 4 megabytes"; benchmark
+configuration files and reports use strings like ``"64KB"``; these helpers
+convert between the two, using binary (1024) multiples as MPI benchmarks do.
+"""
+
+from __future__ import annotations
+
+import re
+
+_UNITS = {
+    "": 1,
+    "B": 1,
+    "KB": 1024,
+    "KIB": 1024,
+    "MB": 1024**2,
+    "MIB": 1024**2,
+    "GB": 1024**3,
+    "GIB": 1024**3,
+}
+
+_SIZE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([A-Za-z]*)\s*$")
+
+
+def parse_size(text: str | int) -> int:
+    """Parse ``"64KB"`` / ``"4MB"`` / ``"8"`` / ``512`` into a byte count."""
+    if isinstance(text, (int,)) and not isinstance(text, bool):
+        if text < 0:
+            raise ValueError(f"size must be >= 0, got {text}")
+        return text
+    if not isinstance(text, str):
+        raise TypeError(f"size must be str or int, got {type(text).__name__}")
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable size: {text!r}")
+    value, unit = match.groups()
+    unit = unit.upper()
+    if unit not in _UNITS:
+        raise ValueError(f"unknown size unit {unit!r} in {text!r}")
+    nbytes = float(value) * _UNITS[unit]
+    if nbytes != int(nbytes):
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(nbytes)
+
+
+def format_size(nbytes: int) -> str:
+    """Format a byte count the way the paper labels its x-axes (8B, 64KB, 4MB)."""
+    if nbytes < 0:
+        raise ValueError(f"size must be >= 0, got {nbytes}")
+    for unit, factor in (("GB", 1024**3), ("MB", 1024**2), ("KB", 1024)):
+        if nbytes >= factor and nbytes % factor == 0:
+            return f"{nbytes // factor}{unit}"
+    return f"{nbytes}B"

@@ -1,0 +1,57 @@
+"""Argument-validation helpers used across the package.
+
+All helpers raise :class:`ValueError` or :class:`TypeError` with a message
+naming the offending parameter, and return the (possibly coerced) value so
+they can be used inline::
+
+    self.nodes = check_positive("nodes", nodes)
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+from typing import Any
+
+
+def check_type(name: str, value: Any, types: type | tuple[type, ...]) -> Any:
+    """Require ``value`` to be an instance of ``types``."""
+    if not isinstance(value, types):
+        expected = types.__name__ if isinstance(types, type) else "/".join(t.__name__ for t in types)
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+    return value
+
+
+def check_positive(name: str, value: Any) -> int | float:
+    """Require a strictly positive number; integral values are returned as int."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return int(value) if isinstance(value, Integral) else float(value)
+
+
+def check_non_negative(name: str, value: Any) -> int | float:
+    """Require a number >= 0; integral values are returned as int."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return int(value) if isinstance(value, Integral) else float(value)
+
+
+def check_probability(name: str, value: Any) -> float:
+    """Require a float in [0, 1]."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_in_range(name: str, value: Any, lo: float, hi: float) -> int | float:
+    """Require ``lo <= value <= hi``."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return int(value) if isinstance(value, Integral) else float(value)

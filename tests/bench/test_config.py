@@ -1,0 +1,51 @@
+"""Unit tests for benchmark scale configuration."""
+
+import pytest
+
+from repro.bench.config import ENV_VAR, bench_machine, get_scale
+
+
+class TestGetScale:
+    def test_default_is_small(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert get_scale().name == "small"
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "medium")
+        assert get_scale().name == "medium"
+
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "medium")
+        assert get_scale("large").name == "large"
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError, match="unknown bench scale"):
+            get_scale("galactic")
+
+    def test_paper_scale_matches_paper(self):
+        scale = get_scale("paper")
+        assert scale.ranks == 2160
+        assert scale.ranks_per_socket == 18
+        assert scale.moore_ranks == 2048
+
+    def test_all_scales_have_paper_density_grid(self):
+        for name in ("small", "medium", "large", "paper"):
+            scale = get_scale(name)
+            assert scale.densities == (0.05, 0.1, 0.2, 0.3, 0.5, 0.7)
+
+
+class TestBenchMachine:
+    def test_exact_rank_count(self):
+        machine = bench_machine(128, 8)
+        assert machine.spec.n_ranks == 128
+        assert machine.spec.sockets_per_node == 2
+
+    def test_partial_node_rejected(self):
+        with pytest.raises(ValueError, match="does not fill"):
+            bench_machine(100, 8)
+
+    def test_scales_build_their_machines(self):
+        for name in ("small", "medium", "large"):
+            scale = get_scale(name)
+            machine = bench_machine(scale.ranks, scale.ranks_per_socket)
+            assert machine.spec.n_ranks == scale.ranks

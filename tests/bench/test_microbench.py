@@ -1,0 +1,63 @@
+"""Unit tests for the iterated latency micro-benchmark."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.microbench import latency_benchmark
+from repro.cluster.hockney import NIAGARA_LIKE
+
+
+class TestLatencyBenchmark:
+    def test_noiseless_machine_is_flat(self, small_machine, small_topology):
+        stats = latency_benchmark("naive", small_topology, small_machine, 256,
+                                  iterations=5)
+        assert stats.minimum == stats.maximum == stats.average
+        assert stats.std == 0.0
+        assert stats.cv == 0.0
+        assert stats.iterations == 5
+
+    def test_jitter_produces_distribution(self, small_machine, small_topology):
+        noisy = dataclasses.replace(
+            small_machine, params=dataclasses.replace(NIAGARA_LIKE, jitter=0.4)
+        )
+        stats = latency_benchmark("naive", small_topology, noisy, 256, iterations=8)
+        assert stats.minimum < stats.maximum
+        assert stats.std > 0.0
+        assert stats.minimum <= stats.average <= stats.maximum
+
+    def test_vary_placement_produces_distribution(self, small_machine, small_topology):
+        stats = latency_benchmark(
+            "naive", small_topology, small_machine, 4096,
+            iterations=6, vary_placement=True,
+        )
+        assert stats.std > 0.0
+
+    def test_size_label_parsed(self, small_machine, small_topology):
+        stats = latency_benchmark("naive", small_topology, small_machine, "4KB",
+                                  iterations=2)
+        assert stats.msg_size == 4096
+
+    def test_deterministic_by_seed(self, small_machine, small_topology):
+        kwargs = dict(iterations=4, vary_placement=True, seed=5)
+        a = latency_benchmark("naive", small_topology, small_machine, 64, **kwargs)
+        b = latency_benchmark("naive", small_topology, small_machine, 64, **kwargs)
+        assert a == b
+
+    def test_dh_more_stable_under_placement(self, medium_machine):
+        """The Fig. 6 stability claim, via the micro-benchmark interface."""
+        from repro.topology import moore_topology
+
+        topo = moore_topology(medium_machine.spec.n_ranks, r=2, d=2)
+        naive = latency_benchmark("naive", topo, medium_machine, 512,
+                                  iterations=6, vary_placement=True)
+        dh = latency_benchmark("distance_halving", topo, medium_machine, 512,
+                               iterations=6, vary_placement=True)
+        assert dh.average < naive.average
+        assert dh.cv <= naive.cv * 1.5
+
+    def test_validation(self, small_machine, small_topology):
+        with pytest.raises(ValueError, match="iterations"):
+            latency_benchmark("naive", small_topology, small_machine, 64, iterations=0)
+        with pytest.raises(ValueError, match="warmup"):
+            latency_benchmark("naive", small_topology, small_machine, 64, warmup=-1)

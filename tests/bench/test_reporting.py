@@ -1,0 +1,59 @@
+"""Unit tests for reporting helpers."""
+
+import json
+
+import pytest
+
+import repro.bench.reporting as reporting
+from repro.bench.reporting import format_table, geometric_mean, save_results
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert len(lines) == 5
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_wide_cells_grow_columns(self):
+        text = format_table(["h"], [["a-very-long-cell"]])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(sep) == len(row)
+
+
+class TestSaveResults:
+    def test_writes_json(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        path = save_results("exp1", {"rows": [{"x": 1}]})
+        assert path == tmp_path / "exp1.json"
+        data = json.loads(path.read_text())
+        assert data["experiment"] == "exp1"
+        assert data["rows"] == [{"x": 1}]
+        assert "timestamp" in data
+
+    def test_non_serializable_values_stringified(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        path = save_results("exp2", {"rows": [], "weird": {1, 2}})
+        assert json.loads(path.read_text())["weird"]
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.5]) == pytest.approx(3.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

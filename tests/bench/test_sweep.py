@@ -1,0 +1,60 @@
+"""Unit tests for sweep helpers."""
+
+import pytest
+
+from repro.bench.sweep import best_common_neighbor, speedup_over, sweep_latency
+from repro.topology import erdos_renyi_topology
+
+
+class TestSweepLatency:
+    def test_one_record_per_size(self, small_machine, small_topology):
+        records = sweep_latency("naive", small_topology, small_machine, ("64", "4KB"))
+        assert [r.msg_size for r in records] == [64, 4096]
+        assert all(r.algorithm == "naive" for r in records)
+        assert records[0].simulated_time < records[1].simulated_time
+
+    def test_msg_label(self, small_machine, small_topology):
+        records = sweep_latency("naive", small_topology, small_machine, ("4KB",))
+        assert records[0].msg_label == "4KB"
+
+    def test_setup_amortized_across_sizes(self, small_machine, small_topology):
+        records = sweep_latency(
+            "distance_halving", small_topology, small_machine, ("64", "4KB", "64KB")
+        )
+        details = [r.detail["data_messages_per_call"] for r in records]
+        assert details[0] == details[1] == details[2]
+
+
+class TestBestCommonNeighbor:
+    def test_picks_minimum_per_size(self, small_machine):
+        topo = erdos_renyi_topology(small_machine.spec.n_ranks, 0.5, seed=31)
+        sizes = ("64", "64KB")
+        best = best_common_neighbor(topo, small_machine, sizes, ks=(1, 2, 4))
+        for i, size in enumerate(sizes):
+            per_k = [
+                sweep_latency("common_neighbor", topo, small_machine, (size,), k=k)[0]
+                for k in (1, 2, 4)
+            ]
+            assert best[i].simulated_time == min(r.simulated_time for r in per_k)
+            assert best[i].detail["best_k"] in (1, 2, 4)
+
+
+class TestSpeedupOver:
+    def test_ratio(self, small_machine, small_topology):
+        naive = sweep_latency("naive", small_topology, small_machine, ("64",))
+        dh = sweep_latency("distance_halving", small_topology, small_machine, ("64",))
+        (size, ratio), = speedup_over(naive, dh)
+        assert size == 64
+        assert ratio == pytest.approx(naive[0].simulated_time / dh[0].simulated_time)
+
+    def test_mismatched_lengths_rejected(self, small_machine, small_topology):
+        a = sweep_latency("naive", small_topology, small_machine, ("64",))
+        b = sweep_latency("naive", small_topology, small_machine, ("64", "128"))
+        with pytest.raises(ValueError, match="different lengths"):
+            speedup_over(a, b)
+
+    def test_mismatched_sizes_rejected(self, small_machine, small_topology):
+        a = sweep_latency("naive", small_topology, small_machine, ("64",))
+        b = sweep_latency("naive", small_topology, small_machine, ("128",))
+        with pytest.raises(ValueError, match="size mismatch"):
+            speedup_over(a, b)

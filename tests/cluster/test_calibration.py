@@ -1,0 +1,54 @@
+"""Unit tests for ping-pong calibration and the Hockney fit."""
+
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster.calibration import calibrate, fit_hockney, simulated_ping_pong
+from repro.cluster.spec import LinkClass
+
+
+class TestFitHockney:
+    def test_exact_linear_samples(self):
+        alpha, beta = 2e-6, 5e9
+        samples = {m: alpha + m / beta for m in (64, 4096, 65536, 1 << 20)}
+        fit = fit_hockney(samples)
+        assert fit.alpha == pytest.approx(alpha, rel=1e-6)
+        assert fit.beta == pytest.approx(beta, rel=1e-6)
+        assert fit.residual == pytest.approx(0.0, abs=1e-18)
+
+    def test_time_method(self):
+        fit = fit_hockney({64: 1e-6 + 64e-9, 1024: 1e-6 + 1024e-9})
+        assert fit.time(2048) == pytest.approx(1e-6 + 2048e-9, rel=1e-6)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            fit_hockney({64: 1e-6})
+
+    def test_degenerate_samples_rejected(self):
+        # Decreasing time with size => nonsensical bandwidth.
+        with pytest.raises(ValueError, match="non-positive bandwidth"):
+            fit_hockney({64: 2e-6, 1 << 20: 1e-6})
+
+
+class TestSimulatedPingPong:
+    def test_monotone_in_size(self, small_machine):
+        pp = simulated_ping_pong(small_machine, sizes=(64, 65536, 1 << 20))
+        times = [pp[s] for s in sorted(pp)]
+        assert times == sorted(times)
+
+    def test_crosses_network_by_default(self, small_machine):
+        pp = simulated_ping_pong(small_machine, sizes=(64,))
+        inter = small_machine.params.cost(LinkClass.INTER_NODE)
+        # One-way small-message latency should be at least the network alpha.
+        assert pp[64] >= inter.alpha
+
+    def test_same_rank_rejected(self, small_machine):
+        with pytest.raises(ValueError, match="distinct"):
+            simulated_ping_pong(small_machine, rank_a=3, rank_b=3)
+
+    def test_calibrate_recovers_inter_node_costs(self, small_machine):
+        fit = calibrate(small_machine)
+        inter = small_machine.params.cost(LinkClass.INTER_NODE)
+        # alpha within 2x (call overheads inflate it slightly), beta close.
+        assert inter.alpha <= fit.alpha <= 3 * inter.alpha
+        assert fit.beta == pytest.approx(inter.beta, rel=0.2)

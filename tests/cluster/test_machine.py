@@ -1,0 +1,62 @@
+"""Unit tests for the Machine bundle."""
+
+import pytest
+
+from repro.cluster import DragonflyPlus, Machine, SingleSwitch
+from repro.cluster.spec import LinkClass
+
+
+class TestLinkQueries:
+    def test_refines_inter_node_with_network(self):
+        m = Machine.niagara_like(nodes=8, ranks_per_socket=2, nodes_per_group=2)
+        rpn = m.spec.ranks_per_node
+        assert m.link_class(0, 1) is LinkClass.INTRA_SOCKET
+        assert m.link_class(0, 2) is LinkClass.INTER_SOCKET
+        assert m.link_class(0, rpn) is LinkClass.INTER_NODE  # same group
+        assert m.link_class(0, 2 * rpn) is LinkClass.INTER_GROUP
+
+    def test_path_alpha_increases_with_distance(self):
+        m = Machine.niagara_like(nodes=8, ranks_per_socket=2, nodes_per_group=2)
+        rpn = m.spec.ranks_per_node
+        alphas = [
+            m.path_alpha(0, 1),
+            m.path_alpha(0, 2),
+            m.path_alpha(0, rpn),
+            m.path_alpha(0, 2 * rpn),
+        ]
+        assert alphas == sorted(alphas)
+        assert alphas[-1] > alphas[-2]
+
+    def test_hop_extra_only_for_network_links(self):
+        m = Machine.niagara_like(nodes=8, ranks_per_socket=2, nodes_per_group=2)
+        assert m.hop_extra_alpha(0, 1) == 0.0
+        assert m.hop_extra_alpha(0, 2 * m.spec.ranks_per_node) > 0.0
+
+    def test_shared_keys_empty_within_node(self):
+        m = Machine.niagara_like(nodes=4, ranks_per_socket=2)
+        assert m.shared_link_keys(0, 1) == ()
+
+    def test_ptp_time_self_is_memcpy(self):
+        m = Machine.single_switch(nodes=1, ranks_per_socket=4)
+        assert m.ptp_time(0, 0, 6_000_000) == pytest.approx(
+            6_000_000 / m.params.memcpy_beta
+        )
+
+    def test_ptp_time_matches_hockney(self):
+        m = Machine.single_switch(nodes=2, ranks_per_socket=2)
+        cost = m.params.cost(LinkClass.INTER_NODE)
+        assert m.ptp_time(0, 4, 1024) == pytest.approx(cost.alpha + 1024 / cost.beta)
+
+
+class TestConstructors:
+    def test_niagara_like_single_node_uses_flat_network(self):
+        m = Machine.niagara_like(nodes=1, ranks_per_socket=4)
+        assert isinstance(m.network, SingleSwitch)
+
+    def test_niagara_like_defaults_to_dragonfly(self):
+        m = Machine.niagara_like(nodes=16, ranks_per_socket=4)
+        assert isinstance(m.network, DragonflyPlus)
+
+    def test_describe_mentions_shape(self):
+        m = Machine.niagara_like(nodes=4, ranks_per_socket=4)
+        assert "4 nodes" in m.describe()

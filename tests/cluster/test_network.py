@@ -1,0 +1,114 @@
+"""Unit + property tests for network topologies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.network import DragonflyPlus, FatTree, SingleSwitch, Torus
+from repro.cluster.spec import LinkClass
+
+
+class TestSingleSwitch:
+    def test_all_inter_node(self):
+        net = SingleSwitch()
+        assert net.classify(0, 1) is LinkClass.INTER_NODE
+        assert net.classify(3, 3) is LinkClass.SELF
+        assert net.hops(0, 5) == 2
+        assert net.shared_link_keys(0, 5) == ()
+
+
+class TestDragonflyPlus:
+    def test_grouping(self):
+        net = DragonflyPlus(nodes_per_group=4)
+        assert net.group_of(0) == 0
+        assert net.group_of(3) == 0
+        assert net.group_of(4) == 1
+
+    def test_classification(self):
+        net = DragonflyPlus(nodes_per_group=4)
+        assert net.classify(0, 3) is LinkClass.INTER_NODE
+        assert net.classify(0, 4) is LinkClass.INTER_GROUP
+        assert net.classify(2, 2) is LinkClass.SELF
+
+    def test_hops(self):
+        net = DragonflyPlus(nodes_per_group=4)
+        assert net.hops(0, 0) == 0
+        assert net.hops(0, 1) == 2
+        assert net.hops(0, 7) == 5  # leaf-spine-global-spine-leaf
+
+    def test_global_link_keys(self):
+        net = DragonflyPlus(nodes_per_group=4, links_per_pair=2)
+        keys = net.shared_link_keys(0, 4)
+        assert len(keys) == 1
+        tag, lo, hi, lane = keys[0]
+        assert tag == "global" and (lo, hi) == (0, 1) and 0 <= lane < 2
+        assert net.shared_link_keys(0, 1) == ()
+
+    def test_key_symmetry(self):
+        net = DragonflyPlus(nodes_per_group=3, links_per_pair=4)
+        assert net.shared_link_keys(1, 7) == net.shared_link_keys(7, 1)
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_classify_symmetric(self, a, b):
+        net = DragonflyPlus(nodes_per_group=8)
+        assert net.classify(a, b) is net.classify(b, a)
+        assert net.hops(a, b) == net.hops(b, a)
+
+
+class TestFatTree:
+    def test_classification(self):
+        net = FatTree(nodes_per_leaf=4)
+        assert net.classify(0, 3) is LinkClass.INTER_NODE
+        assert net.classify(0, 4) is LinkClass.INTER_GROUP
+
+    def test_taper_limits_uplinks(self):
+        net = FatTree(nodes_per_leaf=8, taper=0.25)
+        assert net.uplinks_per_leaf == 2
+        lanes = {net.shared_link_keys(src, 8)[0] for src in range(8)}
+        assert len(lanes) == 2  # 8 nodes share 2 uplink lanes
+
+    def test_cross_leaf_uses_both_ends(self):
+        net = FatTree(nodes_per_leaf=4)
+        keys = net.shared_link_keys(0, 5)
+        assert len(keys) == 2
+        assert {k[1] for k in keys} == {0, 1}  # source leaf and dest leaf
+
+    def test_invalid_taper(self):
+        with pytest.raises(ValueError):
+            FatTree(nodes_per_leaf=4, taper=0.0)
+        with pytest.raises(ValueError):
+            FatTree(nodes_per_leaf=4, taper=1.5)
+
+
+class TestTorus:
+    def test_coords_roundtrip(self):
+        net = Torus(dims=(4, 4))
+        assert net.coords_of(0) == (0, 0)
+        assert net.coords_of(5) == (1, 1)
+        assert net.coords_of(15) == (3, 3)
+
+    def test_wraparound_distance(self):
+        net = Torus(dims=(8,))
+        assert net.hops(0, 7) == 1 + 1  # neighbors through the wrap + switch hop
+        assert net.hops(0, 4) == 4 + 1
+
+    def test_bisection_classification(self):
+        net = Torus(dims=(4, 2))
+        # dim-0 halves: x in {0,1} vs {2,3}.
+        assert net.classify(0, 2) is LinkClass.INTER_NODE  # x=0 -> x=1
+        assert net.classify(0, 4) is LinkClass.INTER_GROUP  # x=0 -> x=2
+
+    def test_bisection_keys_only_when_crossing(self):
+        net = Torus(dims=(4, 2), bisection_ways=2)
+        assert net.shared_link_keys(0, 2) == ()
+        keys = net.shared_link_keys(0, 4)
+        assert keys and keys[0][0] == "bisect"
+
+    def test_out_of_range_node(self):
+        with pytest.raises(ValueError):
+            Torus(dims=(2, 2)).coords_of(4)
+
+    @given(st.integers(0, 31), st.integers(0, 31))
+    def test_hops_symmetric(self, a, b):
+        net = Torus(dims=(4, 4, 2))
+        assert net.hops(a, b) == net.hops(b, a)
+        assert net.classify(a, b) is net.classify(b, a)

@@ -1,0 +1,113 @@
+"""Unit tests for node-placement permutations and the jitter noise model."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import DragonflyPlus, Machine, PermutedNodes
+from repro.cluster.spec import LinkClass
+from repro.collectives import run_allgather, verify_allgather
+from repro.sim.fabric import Fabric
+from repro.topology import erdos_renyi_topology
+
+
+class TestPermutedNodes:
+    def test_identity_permutation_is_transparent(self):
+        base = DragonflyPlus(nodes_per_group=2)
+        net = PermutedNodes(base, (0, 1, 2, 3))
+        for a in range(4):
+            for b in range(4):
+                assert net.classify(a, b) is base.classify(a, b)
+                assert net.hops(a, b) == base.hops(a, b)
+
+    def test_permutation_changes_classification(self):
+        base = DragonflyPlus(nodes_per_group=2)  # groups {0,1}, {2,3}
+        swapped = PermutedNodes(base, (0, 2, 1, 3))  # logical 1 -> physical 2
+        assert base.classify(0, 1) is LinkClass.INTER_NODE
+        assert swapped.classify(0, 1) is LinkClass.INTER_GROUP
+
+    def test_invalid_permutation_rejected(self):
+        base = DragonflyPlus(nodes_per_group=2)
+        with pytest.raises(ValueError, match="permutation"):
+            PermutedNodes(base, (0, 0, 1, 2))
+
+    def test_out_of_range_node(self):
+        net = PermutedNodes(DragonflyPlus(nodes_per_group=2), (1, 0))
+        with pytest.raises(ValueError, match="outside permutation"):
+            net.classify(0, 5)
+
+
+class TestMachinePlacements:
+    def test_with_node_permutation_preserves_spec(self, small_machine):
+        permuted = small_machine.with_node_permutation((3, 2, 1, 0))
+        assert permuted.spec == small_machine.spec
+        assert isinstance(permuted.network, PermutedNodes)
+
+    def test_wrong_length_rejected(self, small_machine):
+        with pytest.raises(ValueError, match="entries for"):
+            small_machine.with_node_permutation((0, 1))
+
+    def test_random_placement_deterministic_by_seed(self, small_machine):
+        a = small_machine.random_placement(seed=7)
+        b = small_machine.random_placement(seed=7)
+        assert a.network.perm == b.network.perm
+
+    def test_allgather_correct_under_any_placement(self, small_machine):
+        topo = erdos_renyi_topology(small_machine.spec.n_ranks, 0.4, seed=51)
+        for trial in range(3):
+            machine = small_machine.random_placement(seed=trial)
+            for alg in ("naive", "distance_halving"):
+                run = run_allgather(alg, topo, machine, 256)
+                verify_allgather(topo, run)
+
+    def test_placement_changes_latency(self):
+        machine = Machine.niagara_like(nodes=8, ranks_per_socket=4, nodes_per_group=2)
+        topo = erdos_renyi_topology(machine.spec.n_ranks, 0.3, seed=52)
+        times = {
+            run_allgather("naive", topo, machine.random_placement(seed=s), 4096).simulated_time
+            for s in range(5)
+        }
+        assert len(times) > 1  # the placement lottery is not a no-op
+
+
+class TestJitter:
+    def make_noisy(self, machine, jitter):
+        params = dataclasses.replace(machine.params, jitter=jitter)
+        return dataclasses.replace(machine, params=params)
+
+    def test_zero_jitter_is_deterministic(self, small_machine):
+        f1 = Fabric(small_machine, noise_seed=1)
+        f2 = Fabric(small_machine, noise_seed=2)
+        t1 = f1.transmit(0, 8, 1024, 0.0)
+        t2 = f2.transmit(0, 8, 1024, 0.0)
+        assert t1.arrival == t2.arrival
+
+    def test_jitter_inflates_latency(self, small_machine):
+        noisy = self.make_noisy(small_machine, 0.5)
+        clean_t = Fabric(small_machine).transmit(0, 8, 1024, 0.0).arrival
+        noisy_t = Fabric(noisy, noise_seed=3).transmit(0, 8, 1024, 0.0).arrival
+        assert clean_t < noisy_t <= clean_t * 1.6
+
+    def test_jitter_seed_reproducible(self, small_machine):
+        noisy = self.make_noisy(small_machine, 0.3)
+        a = Fabric(noisy, noise_seed=9).transmit(0, 8, 1024, 0.0).arrival
+        b = Fabric(noisy, noise_seed=9).transmit(0, 8, 1024, 0.0).arrival
+        assert a == b
+
+    def test_jitter_varies_across_seeds(self, small_machine):
+        noisy = self.make_noisy(small_machine, 0.3)
+        arrivals = {
+            Fabric(noisy, noise_seed=s).transmit(0, 8, 1024, 0.0).arrival for s in range(6)
+        }
+        assert len(arrivals) > 1
+
+    def test_allgather_still_correct_with_noise(self, small_machine):
+        noisy = self.make_noisy(small_machine, 0.4)
+        topo = erdos_renyi_topology(noisy.spec.n_ranks, 0.4, seed=53)
+        for alg in ("naive", "common_neighbor", "distance_halving"):
+            run = run_allgather(alg, topo, noisy, 256, noise_seed=11)
+            verify_allgather(topo, run)
+
+    def test_negative_jitter_rejected(self, small_machine):
+        with pytest.raises(ValueError):
+            self.make_noisy(small_machine, -0.1)

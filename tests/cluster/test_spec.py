@@ -1,0 +1,89 @@
+"""Unit + property tests for ClusterSpec placement arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.spec import ClusterSpec, LinkClass
+
+
+class TestShape:
+    def test_counts(self):
+        spec = ClusterSpec(nodes=3, sockets_per_node=2, ranks_per_socket=4)
+        assert spec.ranks_per_node == 8
+        assert spec.n_ranks == 24
+        assert spec.n_sockets == 6
+
+    def test_paper_shape(self):
+        # The paper's 2160-rank runs: 60 nodes x 2 sockets x 18 ranks.
+        spec = ClusterSpec(nodes=60, sockets_per_node=2, ranks_per_socket=18)
+        assert spec.n_ranks == 2160
+
+    @pytest.mark.parametrize("field", ["nodes", "sockets_per_node", "ranks_per_socket"])
+    def test_rejects_non_positive(self, field):
+        kwargs = {"nodes": 2, "sockets_per_node": 2, "ranks_per_socket": 2, field: 0}
+        with pytest.raises(ValueError):
+            ClusterSpec(**kwargs)
+
+
+class TestPlacement:
+    def test_block_placement(self):
+        spec = ClusterSpec(nodes=2, sockets_per_node=2, ranks_per_socket=3)
+        # Ranks 0-2 socket 0 node 0; 3-5 socket 1 node 0; 6-8 socket 2 node 1.
+        assert [spec.node_of(r) for r in range(12)] == [0] * 6 + [1] * 6
+        assert [spec.socket_of(r) for r in range(12)] == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]
+        assert spec.local_socket_of(4) == 1
+        assert spec.core_of(4) == 1
+
+    def test_ranks_on_node_and_socket(self):
+        spec = ClusterSpec(nodes=2, sockets_per_node=2, ranks_per_socket=3)
+        assert list(spec.ranks_on_node(1)) == [6, 7, 8, 9, 10, 11]
+        assert list(spec.ranks_on_socket(2)) == [6, 7, 8]
+
+    def test_out_of_range_rank(self):
+        spec = ClusterSpec(nodes=1, sockets_per_node=1, ranks_per_socket=4)
+        with pytest.raises(ValueError):
+            spec.node_of(4)
+        with pytest.raises(ValueError):
+            spec.ranks_on_node(1)
+        with pytest.raises(ValueError):
+            spec.ranks_on_socket(1)
+
+    @given(st.integers(1, 8), st.integers(1, 4), st.integers(1, 16))
+    def test_placement_consistency(self, nodes, sockets, rps):
+        spec = ClusterSpec(nodes, sockets, rps)
+        for rank in range(0, spec.n_ranks, max(1, spec.n_ranks // 17)):
+            node = spec.node_of(rank)
+            socket = spec.socket_of(rank)
+            assert rank in spec.ranks_on_node(node)
+            assert rank in spec.ranks_on_socket(socket)
+            assert socket // sockets == node
+            assert spec.local_socket_of(rank) == socket % sockets
+
+
+class TestLinkClassification:
+    def test_ordering(self):
+        assert LinkClass.SELF < LinkClass.INTRA_SOCKET < LinkClass.INTER_SOCKET
+        assert LinkClass.INTER_SOCKET < LinkClass.INTER_NODE < LinkClass.INTER_GROUP
+
+    def test_intra_node_classes(self):
+        spec = ClusterSpec(nodes=2, sockets_per_node=2, ranks_per_socket=2)
+        assert spec.intra_node_class(0, 0) is LinkClass.SELF
+        assert spec.intra_node_class(0, 1) is LinkClass.INTRA_SOCKET
+        assert spec.intra_node_class(0, 2) is LinkClass.INTER_SOCKET
+        assert spec.intra_node_class(0, 4) is LinkClass.INTER_NODE
+
+    def test_symmetry(self):
+        spec = ClusterSpec(nodes=2, sockets_per_node=2, ranks_per_socket=2)
+        for a in range(8):
+            for b in range(8):
+                assert spec.intra_node_class(a, b) is spec.intra_node_class(b, a)
+
+
+class TestForRanks:
+    def test_exact_fit(self):
+        spec = ClusterSpec.for_ranks(2160, sockets_per_node=2, ranks_per_socket=18)
+        assert spec.nodes == 60
+
+    def test_partial_node_rejected(self):
+        with pytest.raises(ValueError, match="does not fill whole nodes"):
+            ClusterSpec.for_ranks(100, sockets_per_node=2, ranks_per_socket=18)

@@ -1,0 +1,149 @@
+"""End-to-end tests for the Distance Halving algorithm (Algorithm 4)."""
+
+import pytest
+
+from repro.collectives import get_algorithm, run_allgather, verify_allgather
+from repro.topology import DistGraphTopology, erdos_renyi_topology, moore_topology
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("density", [0.02, 0.1, 0.3, 0.5, 0.9])
+    def test_random_graphs(self, small_machine, density):
+        topo = erdos_renyi_topology(small_machine.spec.n_ranks, density, seed=21)
+        run = run_allgather("distance_halving", topo, small_machine, 256)
+        verify_allgather(topo, run)
+
+    def test_moore(self, small_machine):
+        topo = moore_topology(small_machine.spec.n_ranks, r=1, d=2)
+        run = run_allgather("distance_halving", topo, small_machine, 256)
+        verify_allgather(topo, run)
+
+    def test_directed_asymmetric(self, small_machine):
+        n = small_machine.spec.n_ranks
+        topo = DistGraphTopology(n, {u: [(u * 7 + 3) % n] for u in range(n)})
+        run = run_allgather("distance_halving", topo, small_machine, 256)
+        verify_allgather(topo, run)
+
+    def test_medium_scale(self, medium_machine):
+        topo = erdos_renyi_topology(medium_machine.spec.n_ranks, 0.3, seed=22)
+        run = run_allgather("distance_halving", topo, medium_machine, 1024)
+        verify_allgather(topo, run)
+
+
+class TestMessageBehaviour:
+    def test_fewer_off_socket_messages_than_naive(self, small_machine):
+        topo = erdos_renyi_topology(small_machine.spec.n_ranks, 0.5, seed=23)
+        naive = run_allgather("naive", topo, small_machine, 64, trace=True)
+        dh = run_allgather("distance_halving", topo, small_machine, 64, trace=True)
+        assert dh.trace.off_socket_messages() < naive.trace.off_socket_messages()
+
+    def test_off_socket_messages_bounded_by_model(self, small_machine):
+        """Eq. (1): at most ceil(log2(n/L)) halving sends per rank go off
+        socket... plus direct leftovers; with a dense graph leftovers are
+        rare, so the max per-rank send count stays near the level count."""
+        topo = erdos_renyi_topology(small_machine.spec.n_ranks, 0.9, seed=24)
+        dh = run_allgather("distance_halving", topo, small_machine, 64, trace=True)
+        levels = dh.setup_stats.extras["levels"]
+        L = small_machine.spec.ranks_per_socket
+        # halving sends + final phase (<= L-1 socket peers + few leftovers)
+        assert dh.trace.max_sends_per_rank() <= levels + L + 4
+
+    def test_message_sizes_double_along_halving(self, small_machine):
+        """In a dense graph, halving-phase messages grow roughly geometrically
+        (the paper's worst-case doubling)."""
+        topo = erdos_renyi_topology(small_machine.spec.n_ranks, 1.0, seed=0)
+        m = 1000
+        dh = run_allgather("distance_halving", topo, small_machine, m, trace=True)
+        by_tag = {}
+        for rec in dh.trace.records:
+            if rec.tag < 100:  # halving steps only
+                by_tag.setdefault(rec.tag, []).append(rec.nbytes)
+        for t in sorted(by_tag)[:-1]:
+            assert max(by_tag[t + 1]) >= max(by_tag[t])
+        assert max(by_tag[max(by_tag)]) >= m * 2 ** (len(by_tag) - 1)
+
+    def test_setup_extras_present(self, small_machine, small_topology):
+        alg = get_algorithm("distance_halving")
+        stats = alg.setup(small_topology, small_machine)
+        for key in (
+            "levels",
+            "agent_success_rate",
+            "matrix_a_messages",
+            "data_messages_per_call",
+        ):
+            assert key in stats.extras
+
+
+class TestPerformanceShape:
+    """The headline claims, at test scale: DH beats naive where the paper
+    says it should."""
+
+    def test_dense_small_messages_big_win(self, medium_machine):
+        topo = erdos_renyi_topology(medium_machine.spec.n_ranks, 0.7, seed=25)
+        naive = run_allgather("naive", topo, medium_machine, 32)
+        dh = run_allgather("distance_halving", topo, medium_machine, 32)
+        assert naive.simulated_time / dh.simulated_time > 5.0
+
+    def test_sparse_graphs_still_no_collapse(self, medium_machine):
+        topo = erdos_renyi_topology(medium_machine.spec.n_ranks, 0.05, seed=26)
+        naive = run_allgather("naive", topo, medium_machine, 4096)
+        dh = run_allgather("distance_halving", topo, medium_machine, 4096)
+        assert naive.simulated_time / dh.simulated_time > 0.7
+
+    def test_speedup_grows_with_density(self, small_machine):
+        speedups = []
+        for density in (0.1, 0.4, 0.8):
+            topo = erdos_renyi_topology(small_machine.spec.n_ranks, density, seed=27)
+            naive = run_allgather("naive", topo, small_machine, 64)
+            dh = run_allgather("distance_halving", topo, small_machine, 64)
+            speedups.append(naive.simulated_time / dh.simulated_time)
+        assert speedups[0] < speedups[-1]
+
+
+class TestLoadBalance:
+    """Section IV: offloading "decreases the load imbalance among the
+    ranks".  Measured as per-rank communication load: DH bounds every
+    rank's send count near ``O(log n + L)``, so the worst-loaded rank
+    carries far fewer messages than under the naive algorithm, and on
+    skewed (hub-heavy) patterns the spread across ranks shrinks too."""
+
+    def _send_stats(self, topo, machine, alg):
+        import numpy as np
+
+        from repro.collectives import run_allgather
+
+        run = run_allgather(alg, topo, machine, 64, trace=True)
+        sends = np.array([run.trace.sends_by_rank.get(r, 0) for r in range(topo.n)])
+        return sends
+
+    def test_max_load_reduced_on_uniform_graph(self, medium_machine):
+        topo = erdos_renyi_topology(medium_machine.spec.n_ranks, 0.3, seed=93)
+        naive = self._send_stats(topo, medium_machine, "naive")
+        dh = self._send_stats(topo, medium_machine, "distance_halving")
+        assert dh.max() < naive.max() * 0.7
+        assert dh.mean() < naive.mean() / 2
+
+    def test_spread_reduced_on_skewed_graph(self, medium_machine):
+        from repro.topology import scale_free_topology
+
+        topo = scale_free_topology(medium_machine.spec.n_ranks, edges_per_rank=6, seed=93)
+        naive = self._send_stats(topo, medium_machine, "naive")
+        dh = self._send_stats(topo, medium_machine, "distance_halving")
+        assert dh.max() < naive.max()
+        cv_naive = naive.std() / naive.mean()
+        cv_dh = dh.std() / dh.mean()
+        assert cv_dh < cv_naive
+
+
+class TestStopRanksVariant:
+    def test_stop_ranks_one_correct(self, small_machine, small_topology):
+        run = run_allgather(
+            "distance_halving", small_topology, small_machine, 128, stop_ranks=1
+        )
+        verify_allgather(small_topology, run)
+
+    def test_protocol_selection_correct(self, small_machine, small_topology):
+        run = run_allgather(
+            "distance_halving", small_topology, small_machine, 128, selection="protocol"
+        )
+        verify_allgather(small_topology, run)

@@ -1,0 +1,87 @@
+"""Unit tests for candidates and Matrix A."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.distance_halving.matrix_a import (
+    adjacency_matrix,
+    build_matrix_a,
+    half_scores,
+)
+from repro.topology import DistGraphTopology, erdos_renyi_topology
+
+
+class TestAdjacencyMatrix:
+    def test_matches_topology(self):
+        topo = DistGraphTopology(4, [[1, 3], [2], [], [0]])
+        adj = adjacency_matrix(topo)
+        assert adj.dtype == bool
+        for u in range(4):
+            assert set(np.flatnonzero(adj[u])) == set(topo.out_neighbors(u))
+
+    def test_empty_topology(self):
+        adj = adjacency_matrix(DistGraphTopology(3, {}))
+        assert not adj.any()
+
+
+class TestBuildMatrixA:
+    def test_candidates_share_a_neighbor(self):
+        # 0 -> {2, 3}; 1 -> {3}; 4 -> {2}; 5 -> nothing shared.
+        topo = DistGraphTopology(6, [[2, 3], [3], [], [], [2], [0]])
+        candidates, A = build_matrix_a(topo, 0)
+        assert candidates == [1, 4]
+        # Fig. 3 semantics: A[i][j] = O[j] is an outgoing neighbor of C[i].
+        out = topo.out_neighbors(0)  # (2, 3)
+        assert A.shape == (2, 2)
+        assert A[0].tolist() == [False, True]  # cand 1 shares 3
+        assert A[1].tolist() == [True, False]  # cand 4 shares 2
+
+    def test_rank_itself_excluded(self):
+        topo = DistGraphTopology(3, [[1], [1], [1]])
+        candidates, _ = build_matrix_a(topo, 0)
+        assert 0 not in candidates
+        assert candidates == [1, 2]
+
+    def test_no_outgoing_neighbors(self):
+        topo = DistGraphTopology(3, {1: [2]})
+        candidates, A = build_matrix_a(topo, 0)
+        assert candidates == [] and A.shape == (0, 0)
+
+    def test_accepts_precomputed_adjacency(self):
+        topo = erdos_renyi_topology(20, 0.3, seed=1)
+        adj = adjacency_matrix(topo)
+        c1, a1 = build_matrix_a(topo, 5, adj=adj)
+        c2, a2 = build_matrix_a(topo, 5)
+        assert c1 == c2 and (a1 == a2).all()
+
+
+class TestHalfScores:
+    def test_counts_shared_in_half_only(self):
+        # Ranks 0,1 in lower; 2,3 in upper.  0 -> {2,3}, 2 -> {3}: share {3}
+        # within the upper half; 0 and 2 also share nothing in lower.
+        topo = DistGraphTopology(4, [[2, 3], [], [3], []])
+        adj = adjacency_matrix(topo).astype(np.float32)
+        scores = half_scores(adj, range(0, 2), range(2, 4), range(2, 4))
+        assert scores[0, 0] == 1.0  # (rank 0, rank 2) share rank 3
+        assert scores[0, 1] == 0.0  # rank 3 has no out-edges
+        assert scores[1, 0] == 0.0
+
+    def test_symmetry_of_scores(self):
+        topo = erdos_renyi_topology(16, 0.5, seed=3)
+        adj = adjacency_matrix(topo).astype(np.float32)
+        s_ab = half_scores(adj, range(0, 8), range(8, 16), range(8, 16))
+        s_ba = half_scores(adj, range(8, 16), range(0, 8), range(8, 16))
+        assert np.array_equal(s_ab, s_ba.T)
+
+    def test_matches_bruteforce(self):
+        topo = erdos_renyi_topology(12, 0.4, seed=9)
+        adj = adjacency_matrix(topo).astype(np.float32)
+        scores = half_scores(adj, range(0, 6), range(6, 12), range(6, 12))
+        for i, a in enumerate(range(0, 6)):
+            for j, b in enumerate(range(6, 12)):
+                expected = len(
+                    set(topo.out_neighbors(a))
+                    & set(topo.out_neighbors(b))
+                    & set(range(6, 12))
+                )
+                assert scores[i, j] == expected

@@ -1,0 +1,78 @@
+"""Unit tests for the communication-pattern data model."""
+
+import pytest
+
+from repro.collectives.distance_halving.pattern import (
+    CommunicationPattern,
+    FinalRecv,
+    FinalSend,
+    HalvingStep,
+    PatternStats,
+    RankPattern,
+)
+
+
+class TestRankPattern:
+    def make(self):
+        rp = RankPattern(rank=0)
+        rp.steps = [
+            HalvingStep(0, agent=5, origin=3, send_block_count=1,
+                        recv_blocks=(3,), recv_for_me=(3,)),
+            HalvingStep(1, agent=None, origin=2, send_block_count=0,
+                        recv_blocks=(2, 7), recv_for_me=()),
+            HalvingStep(2, agent=1, origin=None, send_block_count=4,
+                        recv_blocks=(), recv_for_me=()),
+        ]
+        rp.final_sends = [FinalSend(target=1, blocks=(0, 3))]
+        rp.final_recvs = [FinalRecv(sender=2, blocks=(2,))]
+        return rp
+
+    def test_send_recv_counts(self):
+        rp = self.make()
+        assert rp.halving_sends == 2
+        assert rp.halving_recvs == 2
+
+    def test_max_buffer_blocks(self):
+        rp = self.make()
+        # step 1: 0 send blocks is irrelevant; buffer peaks at 4 (step 2's
+        # send count) vs step 1's 0+2; initial 1+1=2 ... peak is 4.
+        assert rp.max_buffer_blocks() == 4
+
+
+class TestPatternStats:
+    def test_success_rate(self):
+        stats = PatternStats(agent_attempts=10, agent_successes=8)
+        assert stats.success_rate == pytest.approx(0.8)
+
+    def test_success_rate_no_attempts(self):
+        assert PatternStats().success_rate == 0.0
+
+    def test_total_setup_messages(self):
+        stats = PatternStats(
+            matrix_a_messages=10,
+            protocol_messages=5,
+            notification_messages=3,
+            descriptor_messages=2,
+        )
+        assert stats.total_setup_messages == 20
+
+
+class TestCommunicationPattern:
+    def test_length_checked(self):
+        with pytest.raises(ValueError, match="expected 3"):
+            CommunicationPattern(
+                n=3, ranks_per_socket=2, ranks=[RankPattern(0)], stats=PatternStats()
+            )
+
+    def test_indexing_and_totals(self):
+        ranks = [RankPattern(r) for r in range(2)]
+        ranks[0].steps = [
+            HalvingStep(0, agent=1, origin=None, send_block_count=1,
+                        recv_blocks=(), recv_for_me=())
+        ]
+        ranks[0].final_sends = [FinalSend(1, (0,))]
+        pattern = CommunicationPattern(
+            n=2, ranks_per_socket=1, ranks=ranks, stats=PatternStats()
+        )
+        assert pattern[0] is ranks[0]
+        assert pattern.total_data_messages() == 2  # one halving + one final

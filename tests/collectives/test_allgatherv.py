@@ -1,0 +1,86 @@
+"""Unit + property tests for the allgatherv (variable block size) variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Machine
+from repro.collectives import run_allgather, run_allgatherv, verify_allgather
+from repro.topology import DistGraphTopology, erdos_renyi_topology
+
+ALGS = ("naive", "common_neighbor", "distance_halving")
+
+
+class TestBasics:
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_correct_with_varied_sizes(self, small_machine, small_topology, alg):
+        n = small_topology.n
+        sizes = [(r % 7 + 1) * 128 for r in range(n)]
+        run = run_allgatherv(alg, small_topology, small_machine, sizes)
+        verify_allgather(small_topology, run)
+        assert run.block_sizes == sizes
+        assert run.msg_size == max(sizes)
+
+    def test_size_strings_accepted(self, small_machine, small_topology):
+        sizes = ["1KB"] * small_topology.n
+        run = run_allgatherv("naive", small_topology, small_machine, sizes)
+        assert run.block_sizes == [1024] * small_topology.n
+
+    def test_wrong_length_rejected(self, small_machine, small_topology):
+        with pytest.raises(ValueError, match="block_sizes has"):
+            run_allgatherv("naive", small_topology, small_machine, [64, 64])
+
+    def test_zero_sized_blocks(self, small_machine, small_topology):
+        sizes = [0 if r % 2 else 256 for r in range(small_topology.n)]
+        for alg in ALGS:
+            run = run_allgatherv(alg, small_topology, small_machine, sizes)
+            verify_allgather(small_topology, run)
+
+    def test_uniform_v_equals_plain_allgather(self, small_machine, small_topology):
+        """allgatherv with equal sizes must time out identically to allgather."""
+        n = small_topology.n
+        plain = run_allgather("distance_halving", small_topology, small_machine, 512)
+        varied = run_allgatherv(
+            "distance_halving", small_topology, small_machine, [512] * n
+        )
+        assert varied.simulated_time == pytest.approx(plain.simulated_time)
+
+
+class TestByteAccounting:
+    def test_naive_bytes_are_exact(self, small_machine):
+        n = small_machine.spec.n_ranks
+        topo = DistGraphTopology(n, {0: [1, 2], 3: [1]})
+        sizes = [100 * (r + 1) for r in range(n)]
+        run = run_allgatherv("naive", topo, small_machine, sizes)
+        # rank 0 sends 100 twice; rank 3 sends 400 once.
+        assert run.bytes_sent == 2 * 100 + 400
+
+    def test_one_big_block_dominates(self, medium_machine):
+        """A single large block should cost like its own transfer, not like
+        n large blocks (the max-padding an allgather would need)."""
+        n = medium_machine.spec.n_ranks
+        topo = erdos_renyi_topology(n, 0.3, seed=61)
+        small = run_allgatherv("naive", topo, medium_machine, [64] * n)
+        one_big = [64] * n
+        one_big[0] = 1 << 20
+        big = run_allgatherv("naive", topo, medium_machine, one_big)
+        padded = run_allgather("naive", topo, medium_machine, 1 << 20)
+        assert small.simulated_time < big.simulated_time < padded.simulated_time
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    st.integers(1, 3),
+    st.integers(1, 4),
+    st.floats(0.0, 1.0),
+    st.integers(0, 2**31 - 1),
+)
+def test_allgatherv_postcondition_property(nodes, rps, density, seed):
+    machine = Machine.niagara_like(nodes=nodes, ranks_per_socket=rps)
+    n = machine.spec.n_ranks
+    topo = erdos_renyi_topology(n, density, seed=seed)
+    rng = np.random.default_rng(seed)
+    sizes = [int(s) for s in rng.integers(0, 8192, n)]
+    for alg in ALGS:
+        run = run_allgatherv(alg, topo, machine, sizes)
+        verify_allgather(topo, run)

@@ -1,0 +1,85 @@
+"""Unit tests for the algorithm interface and registry."""
+
+import pytest
+
+from repro.collectives.base import (
+    NeighborhoodAllgatherAlgorithm,
+    SetupStats,
+    available_algorithms,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.topology import erdos_renyi_topology
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(available_algorithms()) >= {
+            "naive",
+            "common_neighbor",
+            "distance_halving",
+        }
+
+    def test_get_algorithm_instantiates(self):
+        alg = get_algorithm("naive")
+        assert alg.name == "naive"
+        assert not alg.is_setup
+
+    def test_get_algorithm_passes_kwargs(self):
+        alg = get_algorithm("common_neighbor", k=8)
+        assert alg.k == 8
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            get_algorithm("telepathy")
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(NeighborhoodAllgatherAlgorithm):
+            name = "naive"
+
+            def _build(self, topology, machine):
+                return SetupStats()
+
+            def program(self, comm, ctx):
+                return None
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm(Dup)
+
+    def test_abstract_name_rejected(self):
+        class NoName(NeighborhoodAllgatherAlgorithm):
+            def _build(self, topology, machine):
+                return SetupStats()
+
+            def program(self, comm, ctx):
+                return None
+
+        with pytest.raises(ValueError, match="non-abstract name"):
+            register_algorithm(NoName)
+
+
+class TestLifecycle:
+    def test_setup_idempotent(self, small_machine, small_topology):
+        alg = get_algorithm("distance_halving")
+        s1 = alg.setup(small_topology, small_machine)
+        s2 = alg.setup(small_topology, small_machine)
+        assert s1 is s2  # cached, not rebuilt
+
+    def test_setup_rebuilds_for_new_topology(self, small_machine):
+        alg = get_algorithm("distance_halving")
+        t1 = erdos_renyi_topology(small_machine.spec.n_ranks, 0.2, seed=0)
+        t2 = erdos_renyi_topology(small_machine.spec.n_ranks, 0.2, seed=1)
+        s1 = alg.setup(t1, small_machine)
+        s2 = alg.setup(t2, small_machine)
+        assert s1 is not s2
+
+    def test_program_before_setup_rejected(self, small_machine):
+        alg = get_algorithm("distance_halving")
+        with pytest.raises(RuntimeError, match="setup"):
+            alg.require_setup()
+
+    def test_topology_too_big_for_machine(self, tiny_machine):
+        alg = get_algorithm("naive")
+        topo = erdos_renyi_topology(100, 0.1, seed=0)
+        with pytest.raises(ValueError, match="machine only"):
+            alg.setup(topo, tiny_machine)

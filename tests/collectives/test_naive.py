@@ -1,0 +1,47 @@
+"""Unit tests for the naive baseline."""
+
+import pytest
+
+from repro.collectives import run_allgather, verify_allgather
+from repro.topology import DistGraphTopology, erdos_renyi_topology
+
+
+class TestMessageAccounting:
+    def test_one_message_per_edge(self, small_machine, small_topology):
+        run = run_allgather("naive", small_topology, small_machine, 256)
+        assert run.messages_sent == small_topology.n_edges
+
+    def test_no_setup_cost(self, small_machine, small_topology):
+        run = run_allgather("naive", small_topology, small_machine, 256)
+        assert run.setup_stats.protocol_messages == 0
+        assert run.setup_stats.simulated_time == 0.0
+
+    def test_self_loop_is_local_copy(self, small_machine):
+        topo = DistGraphTopology(small_machine.spec.n_ranks, {0: [0]})
+        run = run_allgather("naive", topo, small_machine, 256)
+        assert run.messages_sent == 0  # no network traffic for self-edges
+        assert run.results[0][0] == 0
+
+
+class TestLatencyBehaviour:
+    def test_latency_scales_with_degree(self, small_machine):
+        n = small_machine.spec.n_ranks
+        sparse = erdos_renyi_topology(n, 0.1, seed=2)
+        dense = erdos_renyi_topology(n, 0.8, seed=2)
+        t_sparse = run_allgather("naive", sparse, small_machine, 1024).simulated_time
+        t_dense = run_allgather("naive", dense, small_machine, 1024).simulated_time
+        assert t_dense > 3 * t_sparse
+
+    def test_latency_grows_with_message_size(self, small_machine, small_topology):
+        t_small = run_allgather("naive", small_topology, small_machine, 64).simulated_time
+        t_big = run_allgather("naive", small_topology, small_machine, 1 << 20).simulated_time
+        assert t_big > 10 * t_small
+
+    def test_correct_on_asymmetric_graph(self, small_machine):
+        """Directed star: rank 0 broadcasts, never receives."""
+        n = small_machine.spec.n_ranks
+        topo = DistGraphTopology(n, {0: list(range(1, n))})
+        run = run_allgather("naive", topo, small_machine, 128)
+        verify_allgather(topo, run)
+        assert run.results[0] == {}
+        assert all(run.results[v] == {0: 0} for v in range(1, n))

@@ -1,0 +1,135 @@
+"""Unit tests for the execution harness."""
+
+import pytest
+
+from repro.collectives import get_algorithm, run_allgather, verify_allgather
+from repro.topology import DistGraphTopology, erdos_renyi_topology
+
+
+class TestRunAllgather:
+    def test_returns_complete_record(self, small_machine, small_topology):
+        run = run_allgather("naive", small_topology, small_machine, "1KB")
+        assert run.algorithm == "naive"
+        assert run.msg_size == 1024
+        assert run.simulated_time > 0
+        assert run.messages_sent == small_topology.n_edges
+        assert run.bytes_sent == small_topology.n_edges * 1024
+        assert len(run.finish_times) == small_topology.n
+
+    def test_size_strings_parsed(self, small_machine, small_topology):
+        run = run_allgather("naive", small_topology, small_machine, "64KB")
+        assert run.msg_size == 65536
+
+    def test_instance_reuse_amortizes_setup(self, small_machine, small_topology):
+        alg = get_algorithm("distance_halving")
+        r1 = run_allgather(alg, small_topology, small_machine, 64)
+        r2 = run_allgather(alg, small_topology, small_machine, 4096)
+        assert r1.setup_stats is r2.setup_stats
+
+    def test_kwargs_with_instance_rejected(self, small_machine, small_topology):
+        alg = get_algorithm("naive")
+        with pytest.raises(ValueError, match="algorithm_kwargs"):
+            run_allgather(alg, small_topology, small_machine, 64, k=4)
+
+    def test_trace_collection(self, small_machine, small_topology):
+        run = run_allgather("naive", small_topology, small_machine, 512, trace=True)
+        assert run.trace is not None
+        assert run.trace.total_messages == run.messages_sent
+
+    def test_utilization_with_trace(self, small_machine, small_topology):
+        run = run_allgather("naive", small_topology, small_machine, 512, trace=True)
+        assert run.utilization is not None
+        ports = run.utilization["send_ports"]
+        assert ports and all(0.0 <= u <= 1.0 for u in ports.values())
+
+    def test_no_utilization_without_trace(self, small_machine, small_topology):
+        run = run_allgather("naive", small_topology, small_machine, 512)
+        assert run.utilization is None
+
+    def test_load_imbalance_metric(self, small_machine, small_topology):
+        from repro.collectives.runner import load_imbalance
+
+        run = run_allgather("naive", small_topology, small_machine, 512)
+        li = load_imbalance(run)
+        assert li >= 1.0
+        empty = run_allgather(
+            "naive",
+            type(small_topology)(small_topology.n, {}),
+            small_machine,
+            512,
+        )
+        assert load_imbalance(empty) == 1.0
+
+    def test_custom_payloads(self, small_machine):
+        topo = DistGraphTopology(small_machine.spec.n_ranks, {0: [1]})
+        payloads = [f"data-{r}" for r in range(topo.n)]
+        run = run_allgather("naive", topo, small_machine, 64, payloads=payloads)
+        assert run.results[1][0] == "data-0"
+
+    def test_wrong_payload_count_rejected(self, small_machine, small_topology):
+        with pytest.raises(ValueError, match="payloads has"):
+            run_allgather("naive", small_topology, small_machine, 64, payloads=[1, 2])
+
+    def test_simulated_time_is_max_finish(self, small_machine, small_topology):
+        run = run_allgather("naive", small_topology, small_machine, 256)
+        assert run.simulated_time == pytest.approx(max(run.finish_times.values()))
+
+
+class TestVerifyAllgather:
+    def test_accepts_correct_run(self, small_machine, small_topology):
+        run = run_allgather("naive", small_topology, small_machine, 64)
+        verify_allgather(small_topology, run)  # should not raise
+
+    def test_detects_missing_block(self, small_machine):
+        topo = DistGraphTopology(small_machine.spec.n_ranks, {0: [1], 2: [1]})
+        run = run_allgather("naive", topo, small_machine, 64)
+        del run.results[1][0]
+        with pytest.raises(AssertionError, match="missing blocks"):
+            verify_allgather(topo, run)
+
+    def test_detects_extra_block(self, small_machine):
+        topo = DistGraphTopology(small_machine.spec.n_ranks, {0: [1]})
+        run = run_allgather("naive", topo, small_machine, 64)
+        run.results[1][5] = 5
+        with pytest.raises(AssertionError, match="unexpected blocks"):
+            verify_allgather(topo, run)
+
+    def test_detects_corrupt_payload(self, small_machine):
+        topo = DistGraphTopology(small_machine.spec.n_ranks, {0: [1]})
+        run = run_allgather("naive", topo, small_machine, 64)
+        run.results[1][0] = 99
+        with pytest.raises(AssertionError, match="wrong payload"):
+            verify_allgather(topo, run)
+
+
+class TestDegenerateTopologies:
+    @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving"])
+    def test_empty_topology(self, small_machine, name):
+        topo = DistGraphTopology(small_machine.spec.n_ranks, {})
+        run = run_allgather(name, topo, small_machine, 64)
+        verify_allgather(topo, run)
+        assert run.simulated_time >= 0
+
+    @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving"])
+    def test_single_edge(self, small_machine, name):
+        topo = DistGraphTopology(small_machine.spec.n_ranks, {0: [small_machine.spec.n_ranks - 1]})
+        run = run_allgather(name, topo, small_machine, 64)
+        verify_allgather(topo, run)
+
+    @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving"])
+    def test_self_loops(self, small_machine, name):
+        n = small_machine.spec.n_ranks
+        topo = DistGraphTopology(n, {r: [r, (r + 1) % n] for r in range(n)})
+        run = run_allgather(name, topo, small_machine, 64)
+        verify_allgather(topo, run)
+
+    @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving"])
+    def test_complete_graph(self, small_machine, name):
+        topo = erdos_renyi_topology(small_machine.spec.n_ranks, 1.0, seed=0)
+        run = run_allgather(name, topo, small_machine, 64)
+        verify_allgather(topo, run)
+
+    @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving"])
+    def test_zero_byte_messages(self, small_machine, small_topology, name):
+        run = run_allgather(name, small_topology, small_machine, 0)
+        verify_allgather(small_topology, run)

@@ -1,0 +1,29 @@
+"""Shared fixtures: small machines and topologies used across the suite."""
+
+import pytest
+
+from repro.cluster import Machine
+from repro.topology import erdos_renyi_topology
+
+
+@pytest.fixture
+def tiny_machine() -> Machine:
+    """2 nodes x 2 sockets x 2 ranks = 8 ranks, flat network."""
+    return Machine.single_switch(nodes=2, sockets_per_node=2, ranks_per_socket=2)
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """4 nodes x 2 sockets x 4 ranks = 32 ranks, Dragonfly+."""
+    return Machine.niagara_like(nodes=4, ranks_per_socket=4)
+
+
+@pytest.fixture
+def medium_machine() -> Machine:
+    """8 nodes x 2 sockets x 8 ranks = 128 ranks, Dragonfly+."""
+    return Machine.niagara_like(nodes=8, ranks_per_socket=8)
+
+
+@pytest.fixture
+def small_topology(small_machine) -> object:
+    return erdos_renyi_topology(small_machine.spec.n_ranks, 0.3, seed=1234)

@@ -1,0 +1,119 @@
+"""Simulator composability: applications embed collectives via ``yield from``.
+
+A rank program can delegate to an algorithm's program generator and mix in
+its own computation — the natural way to model a full application phase
+(and the mechanism behind non-blocking/overlap studies).  These tests pin
+that contract, including compute/communication overlap semantics.
+"""
+
+import pytest
+
+from repro.collectives import get_algorithm, run_allgather
+from repro.collectives.base import ExecutionContext
+from repro.sim.engine import Engine
+from repro.topology import erdos_renyi_topology
+
+
+def make_ctx(topology, machine, msg_size):
+    return ExecutionContext(
+        topology=topology,
+        machine=machine,
+        msg_size=msg_size,
+        payloads=list(range(topology.n)),
+        results=[{} for _ in range(topology.n)],
+    )
+
+
+class TestYieldFromComposition:
+    def test_app_program_embeds_collective(self, small_machine, small_topology):
+        """compute -> allgather -> compute, per rank, in one program."""
+        alg = get_algorithm("distance_halving")
+        alg.setup(small_topology, small_machine)
+        ctx = make_ctx(small_topology, small_machine, 1024)
+        engine = Engine(n_ranks=small_topology.n, machine=small_machine)
+        compute = 5e-6
+
+        def make_program(rank):
+            def program(comm):
+                yield comm.compute(compute)
+                inner = alg.program(comm, ctx)
+                if inner is not None:
+                    yield from inner
+                yield comm.compute(compute)
+
+            return program
+
+        engine.spawn_all(make_program)
+        makespan = engine.run()
+
+        # Results are the standard allgather post-condition...
+        for v in range(small_topology.n):
+            assert set(ctx.results[v]) == set(small_topology.in_neighbors(v))
+        # ...and the makespan includes both compute phases.
+        plain = run_allgather(alg, small_topology, small_machine, 1024).simulated_time
+        assert makespan >= plain + 2 * compute - 1e-12
+
+    def test_two_collectives_back_to_back(self, small_machine, small_topology):
+        """Two different algorithms can run sequentially in one program
+        (distinct contexts keep their results separate)."""
+        dh = get_algorithm("distance_halving")
+        cn = get_algorithm("common_neighbor")
+        dh.setup(small_topology, small_machine)
+        cn.setup(small_topology, small_machine)
+        ctx1 = make_ctx(small_topology, small_machine, 256)
+        ctx2 = make_ctx(small_topology, small_machine, 256)
+        engine = Engine(n_ranks=small_topology.n, machine=small_machine)
+
+        def make_program(rank):
+            def program(comm):
+                first = dh.program(comm, ctx1)
+                if first is not None:
+                    yield from first
+                second = cn.program(comm, ctx2)
+                if second is not None:
+                    yield from second
+
+            return program
+
+        engine.spawn_all(make_program)
+        engine.run()
+        for ctx in (ctx1, ctx2):
+            for v in range(small_topology.n):
+                assert set(ctx.results[v]) == set(small_topology.in_neighbors(v))
+
+    def test_overlap_hides_computation(self, small_machine):
+        """Non-blocking style: computation issued while communication is in
+        flight should (partially) hide — the motivation for the related
+        work's non-blocking neighborhood collectives."""
+        n = small_machine.spec.n_ranks
+        topo = erdos_renyi_topology(n, 0.4, seed=91)
+        msg = 1 << 16
+        compute = 2e-4  # comparable to the transfer time
+
+        def run_mode(overlap: bool) -> float:
+            engine = Engine(n_ranks=n, machine=small_machine)
+
+            def make_program(rank):
+                def program(comm):
+                    recvs = [comm.irecv(src, tag=0) for src in topo.in_neighbors(rank)]
+                    sends = [
+                        comm.isend(dst, msg, tag=0, payload=rank)
+                        for dst in topo.out_neighbors(rank)
+                    ]
+                    if overlap:
+                        yield comm.compute(compute)      # while messages fly
+                        yield comm.waitall(recvs + sends)
+                    else:
+                        yield comm.waitall(recvs + sends)
+                        yield comm.compute(compute)      # strictly after
+
+                return program
+
+            engine.spawn_all(make_program)
+            return engine.run()
+
+        overlapped = run_mode(True)
+        sequential = run_mode(False)
+        assert overlapped < sequential
+        # Full overlap would save exactly `compute`; require most of it.
+        assert sequential - overlapped > 0.5 * compute

@@ -1,0 +1,112 @@
+"""Integration: all four allgather algorithms produce identical receive
+buffers on every workload family the paper evaluates, on several machine
+shapes."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FatTree, HockneyParameters, Machine, Torus
+from repro.cluster.hockney import NIAGARA_LIKE
+from repro.cluster.spec import ClusterSpec
+from repro.collectives import run_allgather, verify_allgather
+from repro.topology import (
+    cartesian_topology,
+    erdos_renyi_topology,
+    moore_topology,
+    topology_from_sparse,
+)
+from repro.spmm.matrices import synthetic_matrix
+
+ALGORITHMS = ("naive", "common_neighbor", "distance_halving", "hierarchical")
+
+
+def machines():
+    yield Machine.single_switch(nodes=2, sockets_per_node=2, ranks_per_socket=2)
+    yield Machine.niagara_like(nodes=4, ranks_per_socket=4)
+    yield Machine(
+        spec=ClusterSpec(nodes=4, sockets_per_node=2, ranks_per_socket=4),
+        network=FatTree(nodes_per_leaf=2, taper=0.5),
+        params=NIAGARA_LIKE,
+    )
+    yield Machine(
+        spec=ClusterSpec(nodes=8, sockets_per_node=2, ranks_per_socket=2),
+        network=Torus(dims=(4, 2)),
+        params=NIAGARA_LIKE,
+    )
+
+
+def run_all(topology, machine, msg_size=256):
+    runs = {}
+    for name in ALGORITHMS:
+        run = run_allgather(name, topology, machine, msg_size)
+        verify_allgather(topology, run)
+        runs[name] = run
+    return runs
+
+
+class TestAllMachinesAllWorkloads:
+    @pytest.mark.parametrize("machine", machines(), ids=lambda m: m.network.describe())
+    def test_random_graph(self, machine):
+        topo = erdos_renyi_topology(machine.spec.n_ranks, 0.4, seed=77)
+        runs = run_all(topo, machine)
+        results = [r.results for r in runs.values()]
+        assert results[0] == results[1] == results[2]
+
+    @pytest.mark.parametrize("machine", machines(), ids=lambda m: m.network.describe())
+    def test_moore(self, machine):
+        topo = moore_topology(machine.spec.n_ranks, r=1, d=2)
+        run_all(topo, machine)
+
+    @pytest.mark.parametrize("machine", machines(), ids=lambda m: m.network.describe())
+    def test_cartesian(self, machine):
+        topo = cartesian_topology(machine.spec.n_ranks, d=2)
+        run_all(topo, machine)
+
+    def test_spmm_topology(self, small_machine):
+        mat = synthetic_matrix("ash292", seed=0)
+        topo, _ = topology_from_sparse(mat, small_machine.spec.n_ranks)
+        run_all(topo, small_machine)
+
+
+class TestArrayPayloadsEndToEnd:
+    """Numpy payloads survive forwarding/packing in every algorithm."""
+
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_array_identity(self, small_machine, name):
+        n = small_machine.spec.n_ranks
+        topo = erdos_renyi_topology(n, 0.4, seed=88)
+        rng = np.random.default_rng(0)
+        payloads = [rng.random(16) for _ in range(n)]
+        run = run_allgather(name, topo, small_machine, 128, payloads=payloads)
+        for v in range(n):
+            for src in topo.in_neighbors(v):
+                assert run.results[v][src] is payloads[src]
+
+
+class TestRepeatedCalls:
+    """An application calls the collective many times on one pattern; results
+    and timings must be reproducible and the setup reused."""
+
+    def test_repeat_stability(self, small_machine, small_topology):
+        from repro.collectives import get_algorithm
+
+        alg = get_algorithm("distance_halving")
+        times = [
+            run_allgather(alg, small_topology, small_machine, 1024).simulated_time
+            for _ in range(3)
+        ]
+        assert times[0] == times[1] == times[2]
+
+
+class TestWorkloadScaling:
+    def test_speedup_increases_with_scale(self):
+        """Fig. 5's scaling trend: DH's advantage grows with communicator
+        size (more halving levels to save)."""
+        speedups = []
+        for nodes in (2, 8):
+            machine = Machine.niagara_like(nodes=nodes, ranks_per_socket=8)
+            topo = erdos_renyi_topology(machine.spec.n_ranks, 0.5, seed=99)
+            naive = run_allgather("naive", topo, machine, 64)
+            dh = run_allgather("distance_halving", topo, machine, 64)
+            speedups.append(naive.simulated_time / dh.simulated_time)
+        assert speedups[1] > speedups[0]

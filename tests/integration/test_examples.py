@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs end-to-end at a tiny scale.
+
+Examples double as the repository's acceptance tests — each verifies its
+own results internally (identical buffers, numerically checked products),
+so a clean exit is a meaningful signal, not just an import check.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(monkeypatch, name: str, *args: str) -> None:
+    monkeypatch.setattr(sys, "argv", [name, *args])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        run_example(monkeypatch, "quickstart.py", "32", "0.3")
+        out = capsys.readouterr().out
+        assert "verified identical" in out
+        assert "distance_halving" in out
+
+    def test_moore_stencil(self, monkeypatch, capsys):
+        run_example(monkeypatch, "moore_stencil.py", "32", "1", "2")
+        out = capsys.readouterr().out
+        assert "final fields identical across algorithms: True" in out
+
+    def test_spmm_kernel(self, monkeypatch, capsys):
+        run_example(monkeypatch, "spmm_kernel.py", "dwt_193")
+        out = capsys.readouterr().out
+        assert "dwt_193" in out and "DH speedup" in out
+
+    def test_model_explorer(self, monkeypatch, capsys):
+        run_example(monkeypatch, "model_explorer.py")
+        out = capsys.readouterr().out
+        assert "Section V-A example" in out
+        assert "naive total" in out
+
+    def test_pagerank(self, monkeypatch, capsys):
+        run_example(monkeypatch, "pagerank.py", "300", "16", "3")
+        out = capsys.readouterr().out
+        assert "top pages" in out
+        assert "results verified" in out

@@ -1,0 +1,61 @@
+"""Unit tests for the Fig. 2 model grid."""
+
+import numpy as np
+import pytest
+
+from repro.model.comparison import FIG2_DENSITIES, FIG2_SIZES, model_grid
+from repro.model.equations import ModelParams
+
+
+@pytest.fixture
+def params():
+    return ModelParams(n=2000, sockets=2, ranks_per_socket=20, alpha=1.25e-6, beta=1e10)
+
+
+class TestModelGrid:
+    def test_grid_shape(self, params):
+        grid = model_grid(params)
+        assert grid.naive_time.shape == (len(FIG2_DENSITIES), len(FIG2_SIZES))
+        assert grid.dh_time.shape == grid.naive_time.shape
+        assert (grid.naive_time > 0).all() and (grid.dh_time > 0).all()
+
+    def test_custom_axes(self, params):
+        grid = model_grid(params, densities=(0.1, 0.5), sizes=("8", "4MB"))
+        assert grid.densities == (0.1, 0.5)
+        assert grid.sizes == (8, 4 * 1024 * 1024)
+
+    def test_speedup_definition(self, params):
+        grid = model_grid(params)
+        assert np.allclose(grid.speedup, grid.naive_time / grid.dh_time)
+
+    def test_crossover_moves_right_with_density(self, params):
+        """Fig. 2's key shape: denser graphs keep DH winning to larger sizes."""
+        grid = model_grid(params)
+        crossings = [grid.crossover_size(d) or 0 for d in grid.densities]
+        assert crossings == sorted(crossings)
+        assert crossings[-1] > crossings[0]
+
+    def test_crossover_none_when_dh_never_wins(self, params):
+        grid = model_grid(params, densities=(0.001,), sizes=("4MB",))
+        assert grid.crossover_size(0.001) is None
+
+    def test_rows_flatten_grid(self, params):
+        grid = model_grid(params)
+        rows = grid.rows()
+        assert len(rows) == len(FIG2_DENSITIES) * len(FIG2_SIZES)
+        first = rows[0]
+        assert set(first) == {
+            "density",
+            "msg_size",
+            "msg_label",
+            "naive_time",
+            "dh_time",
+            "speedup",
+        }
+
+    def test_small_message_speedups_match_paper_magnitude(self, params):
+        """Fig. 2 predicts order-10x model speedups for small messages at
+        moderate-to-high density at the paper's scale."""
+        grid = model_grid(params)
+        i = grid.densities.index(0.7)
+        assert grid.speedup[i, 0] > 10.0

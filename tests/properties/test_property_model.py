@@ -1,0 +1,88 @@
+"""Property-based tests for the analytic model's structural guarantees."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.model.equations import (
+    ModelParams,
+    dh_messages,
+    dh_total_time,
+    expected_intra_messages,
+    expected_off_socket_messages,
+    naive_messages,
+    naive_total_time,
+)
+
+params_st = st.builds(
+    ModelParams,
+    n=st.integers(40, 5000),
+    sockets=st.sampled_from([1, 2, 4]),
+    ranks_per_socket=st.integers(1, 40),
+    alpha=st.floats(1e-7, 1e-5),
+    beta=st.floats(1e8, 1e11),
+).filter(lambda p: p.n >= p.ranks_per_socket)
+
+
+@settings(deadline=None, max_examples=60)
+@given(params_st, st.floats(0.0, 1.0))
+def test_eq1_bounds(params, delta):
+    """E[n_off] <= halving steps and <= delta*(n-L)."""
+    n_off = float(expected_off_socket_messages(params, delta))
+    assert 0.0 <= n_off <= params.halving_steps
+    assert n_off <= delta * (params.n - params.ranks_per_socket) + 1e-9
+
+
+@settings(deadline=None, max_examples=60)
+@given(params_st, st.floats(0.0, 1.0))
+def test_eq2_bounds(params, delta):
+    """0 <= E[n_in] <= L (the paper's 'worst case E[n_in] equals L')."""
+    n_in = float(expected_intra_messages(params, delta))
+    assert 0.0 <= n_in <= params.ranks_per_socket + 1e-9
+
+
+@settings(deadline=None, max_examples=60)
+@given(params_st, st.floats(0.01, 1.0), st.floats(0.01, 1.0))
+def test_message_counts_monotone_in_density(params, d1, d2):
+    lo, hi = min(d1, d2), max(d1, d2)
+    assert float(dh_messages(params, lo)) <= float(dh_messages(params, hi)) + 1e-9
+    assert float(naive_messages(params, lo)) <= float(naive_messages(params, hi))
+
+
+@settings(deadline=None, max_examples=60)
+@given(params_st, st.floats(0.05, 1.0))
+def test_dh_message_count_beats_naive_at_scale(params, delta):
+    """The core message-reduction claim: whenever the naive count exceeds
+    the DH ceiling (log-steps + L), DH sends fewer messages on average."""
+    dh = float(dh_messages(params, delta))
+    naive = float(naive_messages(params, delta))
+    ceiling = params.halving_steps + params.ranks_per_socket
+    if naive > ceiling:
+        assert dh <= ceiling + 1e-9
+        assert dh < naive
+
+
+@settings(deadline=None, max_examples=60)
+@given(params_st, st.floats(0.0, 1.0), st.sampled_from([8, 1024, 1 << 20]))
+def test_times_positive_and_finite(params, delta, m):
+    for t in (float(naive_total_time(params, delta, m)), float(dh_total_time(params, delta, m))):
+        assert np.isfinite(t)
+        assert t >= 0.0
+
+
+@settings(deadline=None, max_examples=40)
+@given(params_st, st.floats(0.1, 1.0))
+def test_dh_advantage_shrinks_with_message_size(params, delta):
+    """speedup(m) is non-increasing: DH's doubling penalty grows with m.
+
+    Holds whenever halving actually happens (n > L).  The degenerate
+    single-socket case n == L makes Eq. (6)'s closed form charge one m/beta
+    term with zero messages — a quirk of the paper's formula, excluded here.
+    """
+    assume(params.n > params.ranks_per_socket)
+    sizes = [8, 1024, 1 << 17, 1 << 22]
+    speedups = [
+        float(naive_total_time(params, delta, m)) / float(dh_total_time(params, delta, m))
+        for m in sizes
+    ]
+    for a, b in zip(speedups, speedups[1:]):
+        assert b <= a + 1e-9

@@ -1,0 +1,107 @@
+"""Unit tests for the fabric's message-timing model."""
+
+import pytest
+
+from repro.cluster import Machine
+from repro.cluster.spec import LinkClass
+from repro.sim.fabric import Fabric
+
+
+@pytest.fixture
+def machine():
+    return Machine.niagara_like(nodes=8, ranks_per_socket=2, nodes_per_group=2)
+
+
+class TestUncontended:
+    def test_self_message_is_memcpy(self, machine):
+        fabric = Fabric(machine)
+        t = fabric.transmit(0, 0, 6000, post_time=1.0)
+        assert t.link_class is LinkClass.SELF
+        assert t.arrival == pytest.approx(1.0 + 6000 / machine.params.memcpy_beta)
+
+    def test_single_message_is_hockney(self, machine):
+        fabric = Fabric(machine)
+        cost = machine.params.cost(LinkClass.INTRA_SOCKET)
+        t = fabric.transmit(0, 1, 1024, post_time=0.0)
+        assert t.link_class is LinkClass.INTRA_SOCKET
+        assert t.arrival == pytest.approx(cost.alpha + 1024 / cost.beta)
+
+    def test_inter_group_pays_hops(self, machine):
+        fabric = Fabric(machine)
+        rpn = machine.spec.ranks_per_node
+        near = fabric.transmit(0, rpn, 64, post_time=0.0).arrival
+        fabric2 = Fabric(machine)
+        far = fabric2.transmit(0, 2 * rpn, 64, post_time=0.0).arrival
+        assert far > near
+
+    def test_send_complete_before_arrival(self, machine):
+        fabric = Fabric(machine)
+        t = fabric.transmit(0, machine.spec.ranks_per_node, 1 << 20, post_time=0.0)
+        assert t.send_complete <= t.arrival
+
+    def test_zero_bytes_costs_alpha(self, machine):
+        fabric = Fabric(machine)
+        t = fabric.transmit(0, 1, 0, post_time=0.0)
+        assert t.arrival == pytest.approx(machine.params.cost(LinkClass.INTRA_SOCKET).alpha)
+
+
+class TestContention:
+    def test_sender_port_serializes_full_hockney(self, machine):
+        """The paper's single-port model: each message occupies the port
+        for alpha + m/beta, so k messages take ~k times one message."""
+        fabric = Fabric(machine)
+        cost = machine.params.cost(LinkClass.INTRA_SOCKET)
+        one = cost.alpha + 1024 / cost.beta
+        last = None
+        for _ in range(10):
+            last = fabric.transmit(0, 1, 1024, post_time=0.0)
+        assert last.arrival == pytest.approx(10 * one, rel=0.05)
+
+    def test_receiver_port_serializes(self, machine):
+        fabric = Fabric(machine)
+        arrivals = [fabric.transmit(src, 0, 1024, post_time=0.0).arrival for src in (1, 1, 1)]
+        assert arrivals[0] < arrivals[1] < arrivals[2]
+
+    def test_nic_shared_within_node(self, machine):
+        """Two different senders on one node contend for the node NIC."""
+        fabric = Fabric(machine)
+        rpn = machine.spec.ranks_per_node
+        a1 = fabric.transmit(0, rpn, 1 << 20, post_time=0.0).arrival
+        a2 = fabric.transmit(1, rpn + 1, 1 << 20, post_time=0.0).arrival
+        # Second message (distinct ports, same NIC) lands later.
+        assert a2 > a1
+
+    def test_global_link_contention(self, machine):
+        """Cross-group traffic from different nodes shares the global link."""
+        rpn = machine.spec.ranks_per_node
+        fabric = Fabric(machine)
+        solo = fabric.transmit(0, 2 * rpn, 1 << 22, post_time=0.0).arrival
+
+        fabric = Fabric(machine)
+        sends = []
+        for i in range(4):  # four node-pairs across the same group pair
+            src = i * rpn  # ranks on nodes 0..3 hmm nodes 0,1 are group 0
+            sends.append(src)
+        # Same group pair: nodes 0,1 (group 0) -> nodes 4,5 (group 2)? Use
+        # node 0 and node 1 senders to nodes in group 1 (nodes 2, 3).
+        a1 = fabric.transmit(0, 2 * rpn, 1 << 22, post_time=0.0).arrival
+        a2 = fabric.transmit(rpn, 3 * rpn, 1 << 22, post_time=0.0).arrival
+        contended = max(a1, a2)
+        # If both messages hash to the same global-link lane they serialize;
+        # with links_per_pair=2 they may split, so just require no speedup.
+        assert contended >= solo
+
+    def test_intra_node_does_not_touch_nic(self, machine):
+        fabric = Fabric(machine)
+        fabric.transmit(0, 1, 1 << 20, post_time=0.0)
+        util = fabric.utilization(horizon=1.0)
+        assert not util["nic_tx"] and not util["nic_rx"]
+
+
+class TestUtilization:
+    def test_reports_all_families(self, machine):
+        fabric = Fabric(machine)
+        fabric.transmit(0, 2 * machine.spec.ranks_per_node, 4096, post_time=0.0)
+        util = fabric.utilization(horizon=1.0)
+        assert set(util) == {"send_ports", "recv_ports", "nic_tx", "nic_rx", "links"}
+        assert util["send_ports"] and util["links"]

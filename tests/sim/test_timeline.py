@@ -1,0 +1,92 @@
+"""Unit tests for timeline analysis and Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.collectives import run_allgather
+from repro.sim.timeline import (
+    chrome_trace,
+    phase_breakdown,
+    phase_name,
+    save_chrome_trace,
+)
+
+
+@pytest.fixture
+def dh_run(small_machine, small_topology):
+    return run_allgather("distance_halving", small_topology, small_machine, 512, trace=True)
+
+
+class TestPhaseName:
+    def test_buckets(self):
+        assert phase_name(0) == "step 0"
+        assert phase_name(3) == "step 3"
+        assert phase_name(1 << 20) == "final"
+        assert phase_name(500) == "tag 500"
+
+
+class TestPhaseBreakdown:
+    def test_dh_phases_present(self, dh_run):
+        breakdown = phase_breakdown(dh_run.trace.records)
+        assert "final" in breakdown
+        assert "step 0" in breakdown
+        # 32 ranks / L=4 => 3 halving levels.
+        assert {"step 0", "step 1", "step 2"} <= set(breakdown)
+
+    def test_totals_match_trace(self, dh_run):
+        breakdown = phase_breakdown(dh_run.trace.records)
+        assert sum(b["messages"] for b in breakdown.values()) == len(dh_run.trace.records)
+        assert sum(b["bytes"] for b in breakdown.values()) == dh_run.bytes_sent
+
+    def test_spans_ordered_and_bounded(self, dh_run):
+        breakdown = phase_breakdown(dh_run.trace.records)
+        for b in breakdown.values():
+            assert 0 <= b["start"] <= b["end"] <= dh_run.simulated_time
+            assert b["span"] == pytest.approx(b["end"] - b["start"])
+        # Halving steps begin in order.
+        steps = [breakdown[f"step {t}"]["start"] for t in range(3)]
+        assert steps == sorted(steps)
+
+    def test_empty_records(self):
+        assert phase_breakdown([]) == {}
+
+
+class TestChromeTrace:
+    def test_structure(self, dh_run):
+        trace = chrome_trace(dh_run.trace.records, dh_run.finish_times)
+        events = trace["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        flows_s = [e for e in events if e["ph"] == "s"]
+        flows_f = [e for e in events if e["ph"] == "f"]
+        finishes = [e for e in events if e["ph"] == "i"]
+        assert len(slices) == len(dh_run.trace.records)
+        assert len(flows_s) == len(flows_f) == len(slices)
+        assert len(finishes) == len(dh_run.finish_times)
+
+    def test_flow_pairing(self, dh_run):
+        trace = chrome_trace(dh_run.trace.records)
+        by_id = {}
+        for e in trace["traceEvents"]:
+            if e["ph"] in ("s", "f"):
+                by_id.setdefault(e["id"], []).append(e)
+        for pair in by_id.values():
+            assert len(pair) == 2
+            start = next(e for e in pair if e["ph"] == "s")
+            finish = next(e for e in pair if e["ph"] == "f")
+            assert finish["ts"] >= start["ts"]  # arrival after injection
+
+    def test_no_flows_option(self, dh_run):
+        trace = chrome_trace(dh_run.trace.records, flows=False)
+        assert all(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_slices_have_positive_duration(self, dh_run):
+        trace = chrome_trace(dh_run.trace.records)
+        assert all(e["dur"] > 0 for e in trace["traceEvents"] if e["ph"] == "X")
+
+    def test_save_roundtrip(self, dh_run, tmp_path):
+        path = save_chrome_trace(tmp_path / "trace.json", dh_run.trace.records,
+                                 dh_run.finish_times)
+        data = json.loads(path.read_text())
+        assert "traceEvents" in data
+        assert data["otherData"]["source"].startswith("repro")

@@ -1,0 +1,80 @@
+"""Unit tests for the distributed SpMM kernel."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.spmm.kernel import run_spmm
+from repro.spmm.matrices import synthetic_matrix
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize("alg", ["naive", "common_neighbor", "distance_halving"])
+    def test_matches_direct_product(self, small_machine, alg):
+        mat = sp.random(100, 100, density=0.1, format="csr", random_state=1)
+        res = run_spmm(mat, 4, small_machine, alg, seed=2)
+        assert res.verified
+        rng = np.random.default_rng(2)
+        Y = rng.random((100, 4))
+        assert np.allclose(res.Z, mat @ Y)
+
+    def test_table_ii_matrix(self, small_machine):
+        mat = synthetic_matrix("dwt_193", seed=0)
+        res = run_spmm(mat, 8, small_machine, "distance_halving", seed=0)
+        assert res.verified
+
+    def test_identity_matrix_needs_no_comm(self, small_machine):
+        n_ranks = small_machine.spec.n_ranks
+        mat = sp.eye(n_ranks * 3, format="csr")
+        res = run_spmm(mat, 2, small_machine, "naive", seed=0)
+        assert res.verified
+        assert res.messages == 0
+
+
+class TestShapeAndTiming:
+    def test_ranks_capped_by_rows(self, small_machine):
+        mat = sp.random(10, 10, density=0.5, format="csr", random_state=0)
+        res = run_spmm(mat, 2, small_machine, "naive")
+        assert res.n_ranks == 10
+
+    def test_msg_size_covers_largest_stripe(self, small_machine):
+        mat = sp.random(101, 101, density=0.2, format="csr", random_state=0)
+        res = run_spmm(mat, 3, small_machine, "naive")
+        max_rows = -(-101 // res.n_ranks)  # ceil
+        assert res.msg_size == max_rows * 3 * 8
+
+    def test_total_time_includes_compute(self, small_machine):
+        mat = synthetic_matrix("Journals", seed=0)
+        res = run_spmm(mat, 8, small_machine, "naive")
+        assert res.total_time >= res.comm_time
+        assert res.compute_time > 0
+
+    def test_flop_rate_scales_compute(self, small_machine):
+        mat = synthetic_matrix("Journals", seed=0)
+        slow = run_spmm(mat, 8, small_machine, "naive", flop_rate=1e8)
+        fast = run_spmm(mat, 8, small_machine, "naive", flop_rate=1e11)
+        assert slow.compute_time > fast.compute_time
+
+    def test_invalid_args(self, small_machine):
+        mat = sp.eye(50, format="csr")
+        with pytest.raises(ValueError):
+            run_spmm(mat, 0, small_machine)
+        with pytest.raises(ValueError):
+            run_spmm(mat, 4, small_machine, flop_rate=0)
+
+
+class TestAlgorithmComparison:
+    def test_dense_matrix_dh_wins(self, small_machine):
+        mat = synthetic_matrix("Journals", seed=1)  # densest pattern
+        naive = run_spmm(mat, 8, small_machine, "naive", seed=1)
+        dh = run_spmm(mat, 8, small_machine, "distance_halving", seed=1)
+        assert dh.comm_time < naive.comm_time
+
+    def test_all_algorithms_same_result(self, small_machine):
+        mat = synthetic_matrix("ash292", seed=2)
+        results = {
+            alg: run_spmm(mat, 4, small_machine, alg, seed=2).Z
+            for alg in ("naive", "common_neighbor", "distance_halving")
+        }
+        assert np.allclose(results["naive"], results["common_neighbor"])
+        assert np.allclose(results["naive"], results["distance_halving"])

@@ -1,0 +1,72 @@
+"""Unit tests for the synthetic Table II matrix generators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.spmm.matrices import TABLE_II, matrix_names, synthetic_matrix
+
+
+class TestTableII:
+    def test_all_seven_matrices_present(self):
+        assert matrix_names() == (
+            "dwt_193",
+            "Journals",
+            "Heart1",
+            "ash292",
+            "bcsstk13",
+            "cegb2802",
+            "comsol",
+        )
+
+    def test_published_sizes(self):
+        by_name = {s.name: s for s in TABLE_II}
+        assert by_name["dwt_193"].n == 193 and by_name["dwt_193"].nnz == 1843
+        assert by_name["Heart1"].n == 3600 and by_name["Heart1"].nnz == 1387773
+        assert by_name["Journals"].density == pytest.approx(6096 / 128**2)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("spec", TABLE_II, ids=lambda s: s.name)
+    def test_shape_and_nnz_close_to_target(self, spec):
+        mat = synthetic_matrix(spec.name, seed=0)
+        assert mat.shape == (spec.n, spec.n)
+        assert mat.nnz == pytest.approx(spec.nnz, rel=0.05)
+
+    @pytest.mark.parametrize("name", ["dwt_193", "Journals", "bcsstk13"])
+    def test_symmetric_pattern(self, name):
+        mat = synthetic_matrix(name, seed=0)
+        assert (abs(mat - mat.T)).nnz == 0
+
+    def test_full_diagonal(self):
+        mat = synthetic_matrix("comsol", seed=0)
+        assert (mat.diagonal() != 0).all()
+
+    def test_banded_structure(self):
+        from repro.spmm.matrices import _SPECS
+
+        spec = _SPECS["bcsstk13"]
+        mat = synthetic_matrix("bcsstk13", seed=0).tocoo()
+        bw = max(2, int(spec.band_fraction * spec.n))
+        assert (np.abs(mat.row - mat.col) <= bw).all()
+
+    def test_deterministic_by_seed(self):
+        a = synthetic_matrix("ash292", seed=3)
+        b = synthetic_matrix("ash292", seed=3)
+        assert (a != b).nnz == 0
+
+    def test_seeds_differ(self):
+        a = synthetic_matrix("ash292", seed=3)
+        b = synthetic_matrix("ash292", seed=4)
+        assert (a != b).nnz > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown matrix"):
+            synthetic_matrix("laplace_9000")
+
+    def test_positive_values(self):
+        mat = synthetic_matrix("Journals", seed=0)
+        assert (mat.data > 0).all()
+
+    def test_csr_format(self):
+        assert isinstance(synthetic_matrix("dwt_193"), sp.csr_matrix)

@@ -1,0 +1,82 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+import repro.bench.reporting as reporting
+from repro.cli import FIGURES, build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def isolated_results(tmp_path, monkeypatch):
+    monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+    yield tmp_path
+
+
+SMALL = ["--nodes", "2", "--ranks-per-socket", "2"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+    def test_all_figures_resolvable(self):
+        import repro.bench.figures as figures
+
+        for attr in FIGURES.values():
+            assert hasattr(figures, attr)
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "allgather algorithms" in out
+        assert "distance_halving" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "Hockney fit" in out and "alpha" in out
+
+    def test_compare_random(self, capsys):
+        assert main(["compare", *SMALL, "--density", "0.5", "--msg", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "distance_halving" in out and "verified" in out
+
+    def test_compare_moore(self, capsys):
+        assert main(["compare", *SMALL, "--topology", "moore", "--radius", "1"]) == 0
+        assert "naive" in capsys.readouterr().out
+
+    def test_compare_cartesian(self, capsys):
+        assert main(["compare", *SMALL, "--topology", "cartesian"]) == 0
+        assert "naive" in capsys.readouterr().out
+
+    def test_compare_alltoall(self, capsys):
+        assert main(["compare", *SMALL, "--collective", "alltoall", "--msg", "64"]) == 0
+        assert "naive_alltoall" in capsys.readouterr().out
+
+    def test_model(self, capsys):
+        assert main(["model", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "model-predicted DH speedup" in out and "shades:" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", *SMALL, "--density", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "edge locality" in out and "Distance Halving preview" in out
+
+    def test_spmm_single_matrix(self, capsys):
+        assert main(["spmm", *SMALL, "dwt_193"]) == 0
+        out = capsys.readouterr().out
+        assert "dwt_193" in out and "DH speedup" in out
+
+    def test_bench_single_figure(self, isolated_results, capsys):
+        # fig2 is the cheapest driver (closed-form model).
+        assert main(["bench", "fig2", "--scale", "small"]) == 0
+        assert "Fig. 2" in capsys.readouterr().out
+        assert (isolated_results / "fig2_model.json").exists()

@@ -1,0 +1,79 @@
+"""Unit tests for topology diagnostics."""
+
+import pytest
+
+from repro.topology import DistGraphTopology, erdos_renyi_topology, moore_topology
+from repro.topology.analysis import DegreeStats, analyze_topology, pattern_preview
+
+
+class TestDegreeStats:
+    def test_of_values(self):
+        stats = DegreeStats.of([2, 4, 6])
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.minimum == 2 and stats.maximum == 6
+
+    def test_empty(self):
+        stats = DegreeStats.of([])
+        assert stats == DegreeStats(0.0, 0.0, 0, 0)
+
+
+class TestAnalyzeTopology:
+    def test_basic_counts(self):
+        topo = DistGraphTopology(4, [[1, 2], [2], [], [3]])
+        report = analyze_topology(topo)
+        assert report.n == 4
+        assert report.n_edges == 4
+        assert report.self_loops == 1  # 3 -> 3
+        assert not report.symmetric
+
+    def test_symmetric_detection(self):
+        topo = moore_topology(16, r=1, d=2)
+        assert analyze_topology(topo).symmetric
+
+    def test_shared_neighbor_stats(self):
+        # 0 and 1 both point at 2 and 3: |O_0 ∩ O_1| = 2, symmetric pair.
+        topo = DistGraphTopology(4, [[2, 3], [2, 3], [], []])
+        report = analyze_topology(topo)
+        # ordered pairs: (0,1) and (1,0) share 2; 10 other pairs share 0.
+        assert report.mean_shared_out_neighbors == pytest.approx(4 / 12)
+        assert report.candidate_pair_fraction == pytest.approx(2 / 12)
+
+    def test_locality_with_machine(self, small_machine):
+        # One intra-socket edge, one inter-group edge.
+        n = small_machine.spec.n_ranks
+        topo = DistGraphTopology(n, {0: [1, n - 1]})
+        report = analyze_topology(topo, small_machine)
+        assert report.edge_locality["INTRA_SOCKET"] == pytest.approx(0.5)
+        assert report.edge_locality["INTER_GROUP"] == pytest.approx(0.5)
+
+    def test_locality_omitted_without_machine(self):
+        report = analyze_topology(erdos_renyi_topology(10, 0.5, seed=0))
+        assert report.edge_locality == {}
+
+    def test_machine_too_small(self, tiny_machine):
+        topo = erdos_renyi_topology(100, 0.1, seed=0)
+        with pytest.raises(ValueError, match="machine only"):
+            analyze_topology(topo, tiny_machine)
+
+    def test_summary_lines_render(self, small_machine, small_topology):
+        report = analyze_topology(small_topology, small_machine)
+        text = "\n".join(report.summary_lines())
+        assert "edges=" in text and "edge locality" in text
+
+
+class TestPatternPreview:
+    def test_keys_and_consistency(self, small_machine, small_topology):
+        preview = pattern_preview(small_topology, small_machine)
+        assert preview["naive_messages_per_call"] == small_topology.n_edges
+        assert preview["dh_messages_per_call"] > 0
+        assert preview["message_reduction"] == pytest.approx(
+            small_topology.n_edges / preview["dh_messages_per_call"]
+        )
+        assert preview["levels"] == 3  # 32 ranks, L=4
+        assert 0 <= preview["agent_success_rate"] <= 1
+        assert preview["peak_buffer_blocks"] >= 1
+
+    def test_dense_graph_big_reduction(self, small_machine):
+        topo = erdos_renyi_topology(small_machine.spec.n_ranks, 0.9, seed=1)
+        preview = pattern_preview(topo, small_machine)
+        assert preview["message_reduction"] > 2.0

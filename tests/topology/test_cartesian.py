@@ -1,0 +1,48 @@
+"""Unit tests for Cartesian stencil topologies."""
+
+import pytest
+
+from repro.topology.cartesian import cartesian_topology
+
+
+class TestPeriodic:
+    def test_degree_2d(self):
+        topo = cartesian_topology(16, d=2)  # 4x4 torus
+        assert all(topo.outdegree(u) == 4 for u in range(16))
+
+    def test_degree_3d(self):
+        topo = cartesian_topology(27, dims=(3, 3, 3))
+        assert all(topo.outdegree(u) == 6 for u in range(27))
+
+    def test_symmetric(self):
+        topo = cartesian_topology(16, d=2)
+        for u in range(16):
+            assert topo.out_neighbors(u) == topo.in_neighbors(u)
+
+    def test_specific_neighbors(self):
+        topo = cartesian_topology(16, dims=(4, 4))
+        # rank 0 = (0,0) on a periodic 4x4: up (3,0)=12, down (1,0)=4,
+        # left (0,3)=3, right (0,1)=1.
+        assert topo.out_neighbors(0) == (1, 3, 4, 12)
+
+
+class TestNonPeriodic:
+    def test_corner_has_two_neighbors(self):
+        topo = cartesian_topology(16, dims=(4, 4), periodic=False)
+        assert topo.outdegree(0) == 2
+        assert topo.out_neighbors(0) == (1, 4)
+
+    def test_interior_has_four(self):
+        topo = cartesian_topology(16, dims=(4, 4), periodic=False)
+        assert topo.outdegree(5) == 4
+
+    def test_degenerate_extent(self):
+        # extent 2 with periodicity: +1 and -1 land on the same rank.
+        topo = cartesian_topology(2, dims=(2,))
+        assert topo.out_neighbors(0) == (1,)
+
+
+class TestValidation:
+    def test_dims_mismatch(self):
+        with pytest.raises(ValueError, match="do not multiply"):
+            cartesian_topology(10, dims=(3, 3))

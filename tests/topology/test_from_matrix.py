@@ -1,0 +1,93 @@
+"""Unit + property tests for matrix-induced topologies and the partition."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.from_matrix import BlockRowPartition, topology_from_sparse
+
+
+class TestBlockRowPartition:
+    def test_even_split(self):
+        part = BlockRowPartition(12, 4)
+        assert [part.bounds(r) for r in range(4)] == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+    def test_remainder_spread_to_leaders(self):
+        part = BlockRowPartition(10, 4)
+        assert [part.bounds(r) for r in range(4)] == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_owner_inverse_of_bounds(self):
+        part = BlockRowPartition(97, 8)
+        for r in range(8):
+            lo, hi = part.bounds(r)
+            assert all(part.owner(row) == r for row in range(lo, hi))
+
+    def test_owners_vectorized_matches_scalar(self):
+        part = BlockRowPartition(101, 7)
+        rows = np.arange(101)
+        vec = part.owners(rows)
+        assert all(vec[i] == part.owner(i) for i in range(101))
+
+    def test_more_ranks_than_rows_rejected(self):
+        with pytest.raises(ValueError, match="at least one row"):
+            BlockRowPartition(3, 4)
+
+    def test_out_of_range(self):
+        part = BlockRowPartition(10, 2)
+        with pytest.raises(ValueError):
+            part.owner(10)
+        with pytest.raises(ValueError):
+            part.bounds(2)
+
+    @given(st.integers(1, 500), st.integers(1, 32))
+    def test_partition_covers_exactly(self, n_rows, n_ranks):
+        if n_ranks > n_rows:
+            return
+        part = BlockRowPartition(n_rows, n_ranks)
+        covered = []
+        for r in range(n_ranks):
+            lo, hi = part.bounds(r)
+            assert hi > lo  # everyone owns at least one row
+            covered.extend(range(lo, hi))
+        assert covered == list(range(n_rows))
+
+
+class TestTopologyFromSparse:
+    def test_diagonal_matrix_no_edges(self):
+        mat = sp.eye(16, format="csr")
+        topo, _ = topology_from_sparse(mat, 4)
+        assert topo.n_edges == 0
+
+    def test_dense_matrix_complete_graph(self):
+        mat = sp.csr_matrix(np.ones((16, 16)))
+        topo, _ = topology_from_sparse(mat, 4)
+        assert topo.n_edges == 4 * 3
+
+    def test_edge_direction_is_owner_to_consumer(self):
+        # Rank 1's rows reference a column owned by rank 0 => edge 0 -> 1.
+        n = 8
+        mat = sp.lil_matrix((n, n))
+        mat[4, 0] = 1.0  # row 4 (rank 1 of 2) needs column 0 (rank 0)
+        topo, part = topology_from_sparse(mat.tocsr(), 2)
+        assert part.owner(4) == 1 and part.owner(0) == 0
+        assert topo.has_edge(0, 1)
+        assert not topo.has_edge(1, 0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            topology_from_sparse(sp.random(4, 6, density=0.5), 2)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(2, 6), st.floats(0.01, 0.4))
+    def test_edges_are_necessary_and_sufficient(self, n_ranks, density):
+        """u -> v exists iff v's stripe references a column owned by u."""
+        n = 36
+        mat = sp.random(n, n, density=density, format="csr", random_state=7)
+        topo, part = topology_from_sparse(mat, n_ranks)
+        for v in range(n_ranks):
+            lo, hi = part.bounds(v)
+            needed_owners = {
+                int(o) for o in part.owners(np.unique(mat[lo:hi].indices)) if int(o) != v
+            } if mat[lo:hi].nnz else set()
+            assert set(topo.in_neighbors(v)) == needed_owners

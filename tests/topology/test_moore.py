@@ -1,0 +1,84 @@
+"""Unit + property tests for Moore neighborhoods and dims_create."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.moore import dims_create, moore_neighbor_count, moore_topology
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize(
+        "n,d,expected",
+        [
+            (16, 2, (4, 4)),
+            (12, 2, (4, 3)),
+            (64, 3, (4, 4, 4)),
+            (2048, 2, (64, 32)),
+            (7, 2, (7, 1)),
+            (1, 3, (1, 1, 1)),
+        ],
+    )
+    def test_known_factorizations(self, n, d, expected):
+        assert dims_create(n, d) == expected
+
+    @given(st.integers(1, 4096), st.integers(1, 4))
+    def test_product_and_order(self, n, d):
+        dims = dims_create(n, d)
+        assert len(dims) == d
+        assert math.prod(dims) == n
+        assert list(dims) == sorted(dims, reverse=True)
+
+
+class TestMooreTopology:
+    def test_neighbor_count_formula(self):
+        assert moore_neighbor_count(1, 2) == 8
+        assert moore_neighbor_count(2, 2) == 24
+        assert moore_neighbor_count(1, 3) == 26
+        assert moore_neighbor_count(3, 2) == 48
+
+    def test_exact_degree_on_big_grid(self):
+        """(2r+1)^d - 1 neighbors when every extent exceeds 2r+1."""
+        topo = moore_topology(64, r=1, d=2)  # 8x8 grid
+        assert all(topo.outdegree(u) == 8 for u in range(64))
+
+    def test_radius_two(self):
+        topo = moore_topology(144, r=2, d=2)  # 12x12
+        assert all(topo.outdegree(u) == 24 for u in range(144))
+
+    def test_three_dimensional(self):
+        topo = moore_topology(125, r=1, dims=(5, 5, 5))
+        assert all(topo.outdegree(u) == 26 for u in range(125))
+
+    def test_symmetric_graph(self):
+        topo = moore_topology(36, r=1, d=2)
+        for u in range(36):
+            assert topo.out_neighbors(u) == topo.in_neighbors(u)
+
+    def test_small_extent_wraps_dedupe(self):
+        # 4x4 grid with r=2: extent 4 < 2r+1=5, whole grid is the neighborhood.
+        topo = moore_topology(16, r=2, d=2)
+        assert all(topo.outdegree(u) == 15 for u in range(16))
+
+    def test_explicit_dims_must_multiply(self):
+        with pytest.raises(ValueError, match="do not multiply"):
+            moore_topology(10, r=1, dims=(3, 3))
+
+    def test_locality_in_rank_space(self):
+        """Row-major rank order keeps most neighbors nearby — the property
+        Distance Halving exploits on structured topologies."""
+        n = 256
+        topo = moore_topology(n, r=1, d=2)  # 16x16
+        close = sum(
+            1
+            for u in range(n)
+            for v in topo.out_neighbors(u)
+            if abs(u - v) <= 17  # within one grid row
+        )
+        assert close / topo.n_edges > 0.5
+
+    def test_grid_adjacency_correct(self):
+        topo = moore_topology(16, r=1, dims=(4, 4))
+        # rank 5 = (1,1): neighbors are the 8 surrounding cells.
+        assert topo.out_neighbors(5) == (0, 1, 2, 4, 6, 8, 9, 10)

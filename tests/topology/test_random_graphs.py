@@ -1,0 +1,62 @@
+"""Unit + statistical tests for the Erdős–Rényi generator."""
+
+import numpy as np
+import pytest
+
+from repro.topology.random_graphs import erdos_renyi_topology
+
+
+class TestBasics:
+    def test_deterministic_by_seed(self):
+        a = erdos_renyi_topology(40, 0.3, seed=9)
+        b = erdos_renyi_topology(40, 0.3, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi_topology(40, 0.3, seed=1)
+        b = erdos_renyi_topology(40, 0.3, seed=2)
+        assert a != b
+
+    def test_zero_density_empty(self):
+        topo = erdos_renyi_topology(10, 0.0, seed=0)
+        assert topo.n_edges == 0
+
+    def test_full_density_complete(self):
+        topo = erdos_renyi_topology(10, 1.0, seed=0)
+        assert topo.n_edges == 10 * 9  # no self-loops
+
+    def test_full_density_with_self_loops(self):
+        topo = erdos_renyi_topology(10, 1.0, seed=0, allow_self_loops=True)
+        assert topo.n_edges == 100
+
+    def test_no_self_loops_by_default(self):
+        topo = erdos_renyi_topology(50, 0.8, seed=3)
+        assert not topo.has_self_loops()
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_topology(10, 1.5)
+        with pytest.raises(ValueError):
+            erdos_renyi_topology(10, -0.1)
+
+
+class TestStatistics:
+    def test_average_outdegree_matches_delta(self):
+        """The paper's model: average outdegree ~ delta * n."""
+        n, delta = 400, 0.3
+        topo = erdos_renyi_topology(n, delta, seed=7)
+        expected = delta * (n - 1)
+        # Binomial std ~ sqrt(n * d(1-d)) per rank; the graph-wide mean is tight.
+        assert topo.average_outdegree == pytest.approx(expected, rel=0.05)
+
+    def test_edges_independent_across_rows(self):
+        """Outdegrees should vary (not a regular graph)."""
+        topo = erdos_renyi_topology(200, 0.2, seed=11)
+        degs = [topo.outdegree(r) for r in range(200)]
+        assert np.std(degs) > 0
+
+    def test_generator_shared_stream(self):
+        rng = np.random.default_rng(5)
+        a = erdos_renyi_topology(20, 0.5, seed=rng)
+        b = erdos_renyi_topology(20, 0.5, seed=rng)  # continues the stream
+        assert a != b

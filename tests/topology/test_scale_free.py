@@ -1,0 +1,65 @@
+"""Unit tests for scale-free / hub-spoke topologies."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import run_allgather, verify_allgather
+from repro.topology.scale_free import hub_spoke_topology, scale_free_topology
+
+
+class TestScaleFree:
+    def test_deterministic_by_seed(self):
+        assert scale_free_topology(50, seed=3) == scale_free_topology(50, seed=3)
+        assert scale_free_topology(50, seed=3) != scale_free_topology(50, seed=4)
+
+    def test_symmetric_by_default(self):
+        topo = scale_free_topology(40, seed=0)
+        for u in range(40):
+            assert topo.out_neighbors(u) == topo.in_neighbors(u)
+
+    def test_directed_variant(self):
+        topo = scale_free_topology(40, seed=0, symmetric=False)
+        assert any(
+            topo.out_neighbors(u) != topo.in_neighbors(u) for u in range(40)
+        )
+
+    def test_degree_skew(self):
+        """Preferential attachment must produce a heavy-tailed degree
+        distribution — the max degree far exceeds the mean."""
+        topo = scale_free_topology(200, edges_per_rank=4, seed=7)
+        degrees = [topo.outdegree(u) for u in range(200)]
+        assert max(degrees) > 4 * np.mean(degrees)
+
+    def test_edge_budget(self):
+        topo = scale_free_topology(100, edges_per_rank=3, seed=1, symmetric=False)
+        # rank u adds min(u, 3) edges.
+        expected = sum(min(u, 3) for u in range(1, 100))
+        assert topo.n_edges == expected
+
+    def test_no_self_loops(self):
+        assert not scale_free_topology(60, seed=5).has_self_loops()
+
+    def test_allgather_correct(self, small_machine):
+        topo = scale_free_topology(small_machine.spec.n_ranks, seed=2)
+        for alg in ("naive", "common_neighbor", "distance_halving"):
+            run = run_allgather(alg, topo, small_machine, 128)
+            verify_allgather(topo, run)
+
+
+class TestHubSpoke:
+    def test_structure(self):
+        topo = hub_spoke_topology(20, hubs=2)
+        assert topo.outdegree(0) == 19
+        assert topo.outdegree(5) == 2
+        assert topo.out_neighbors(5) == (0, 1)
+        assert topo.in_neighbors(5) == (0, 1)
+
+    def test_hubs_must_be_fewer_than_ranks(self):
+        with pytest.raises(ValueError, match="must be <"):
+            hub_spoke_topology(4, hubs=4)
+
+    def test_allgather_correct(self, small_machine):
+        topo = hub_spoke_topology(small_machine.spec.n_ranks, hubs=3)
+        for alg in ("naive", "common_neighbor", "distance_halving"):
+            run = run_allgather(alg, topo, small_machine, 128)
+            verify_allgather(topo, run)

@@ -1,0 +1,101 @@
+"""Unit + property tests for rank intervals and halving arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.intervals import Interval, halving_steps
+
+
+class TestInterval:
+    def test_len_and_contains(self):
+        iv = Interval(2, 5)
+        assert len(iv) == 4
+        assert 2 in iv and 5 in iv
+        assert 1 not in iv and 6 not in iv
+
+    def test_iteration(self):
+        assert list(Interval(0, 3)) == [0, 1, 2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty interval"):
+            Interval(3, 2)
+
+    def test_mid_matches_paper_formula(self):
+        # Algorithm 1 line 13: mid_rank = (start + end) / 2, floor.
+        assert Interval(0, 7).mid == 3
+        assert Interval(0, 6).mid == 3
+        assert Interval(4, 9).mid == 6
+
+    def test_split_halves(self):
+        lower, upper = Interval(0, 7).split()
+        assert (lower.start, lower.end) == (0, 3)
+        assert (upper.start, upper.end) == (4, 7)
+
+    def test_split_odd_interval(self):
+        lower, upper = Interval(0, 6).split()
+        assert len(lower) == 4 and len(upper) == 3  # midpoint stays low
+
+    def test_split_singleton_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 5).split()
+
+    def test_halves_for_lower_rank(self):
+        h1, h2 = Interval(0, 7).halves_for(2)
+        assert 2 in h1 and 2 not in h2
+        assert (h1.start, h1.end) == (0, 3)
+
+    def test_halves_for_upper_rank(self):
+        h1, h2 = Interval(0, 7).halves_for(6)
+        assert (h1.start, h1.end) == (4, 7)
+        assert (h2.start, h2.end) == (0, 3)
+
+    def test_halves_for_outside_rank_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0, 7).halves_for(9)
+
+    def test_intersect_sorted(self):
+        assert Interval(3, 6).intersect_sorted([1, 3, 5, 7]) == [3, 5]
+
+    @given(st.integers(0, 100), st.integers(0, 100))
+    def test_split_partitions(self, a, b):
+        lo, hi = min(a, b), max(a, b) + 2  # ensure len >= 2
+        iv = Interval(lo, hi)
+        lower, upper = iv.split()
+        assert len(lower) + len(upper) == len(iv)
+        assert lower.end + 1 == upper.start
+        assert lower.start == iv.start and upper.end == iv.end
+
+
+class TestHalvingSteps:
+    def test_power_of_two(self):
+        assert halving_steps(16, 4) == 2
+        assert halving_steps(128, 8) == 4
+
+    def test_already_small(self):
+        assert halving_steps(4, 8) == 0
+        assert halving_steps(8, 8) == 0
+
+    def test_matches_log_formula_for_powers(self):
+        for n, L in [(32, 4), (2048, 16), (1024, 32)]:
+            assert halving_steps(n, L) == math.ceil(math.log2(n / L))
+
+    def test_non_power_of_two(self):
+        # 2160 ranks, 18 per socket: 2160 -> 1080 -> 540 -> 270 -> 135 ->
+        # 68 -> 34 -> 17 <= 18: seven splits.
+        assert halving_steps(2160, 18) == 7
+
+    @given(st.integers(1, 10_000), st.integers(1, 64))
+    def test_steps_shrink_below_limit(self, n, L):
+        steps = halving_steps(n, L)
+        size = n
+        for _ in range(steps):
+            size = math.ceil(size / 2)
+        assert size <= L
+        # One fewer step would not have been enough (unless already small).
+        if steps:
+            size = n
+            for _ in range(steps - 1):
+                size = math.ceil(size / 2)
+            assert size > L

@@ -1,0 +1,68 @@
+"""Unit + property tests for byte-size parsing/formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.sizes import format_size, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("8", 8),
+            ("8B", 8),
+            ("1KB", 1024),
+            ("64KB", 64 * 1024),
+            ("4MB", 4 * 1024 * 1024),
+            ("1GB", 1024**3),
+            ("2KiB", 2048),
+            (" 32 kb ", 32 * 1024),
+            ("0", 0),
+        ],
+    )
+    def test_strings(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_size(512) == 512
+
+    def test_fractional_whole_bytes(self):
+        assert parse_size("0.5KB") == 512
+
+    def test_fractional_non_whole_rejected(self):
+        with pytest.raises(ValueError, match="whole number"):
+            parse_size("0.3B")
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_size("lots")
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError, match="unknown size unit"):
+            parse_size("5XB")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            parse_size(True)
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [(8, "8B"), (1024, "1KB"), (4 * 1024 * 1024, "4MB"), (1536, "1536B"), (0, "0B")],
+    )
+    def test_labels(self, nbytes, expected):
+        assert format_size(nbytes) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-5)
+
+    @given(st.integers(0, 1 << 40))
+    def test_roundtrip(self, nbytes):
+        assert parse_size(format_size(nbytes)) == nbytes
