@@ -10,6 +10,7 @@ pytest-benchmark targets; EXPERIMENTS.md records paper-vs-measured.
 from repro.bench.config import BenchScale, bench_machine, get_scale
 from repro.bench.sweep import SweepRecord, best_common_neighbor, sweep_latency
 from repro.bench.reporting import format_table, save_results
+from repro.bench.wallclock import wallclock_bench
 
 __all__ = [
     "BenchScale",
@@ -20,4 +21,5 @@ __all__ = [
     "best_common_neighbor",
     "format_table",
     "save_results",
+    "wallclock_bench",
 ]

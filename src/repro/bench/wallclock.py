@@ -1,0 +1,336 @@
+"""OSU-style wall-clock micro-harness for the simulator core.
+
+Every figure reproduction funnels through ``Engine.run`` / ``Fabric.transmit``;
+this module measures how fast that hot path executes in *wall-clock* terms so
+simulator-core optimizations (and regressions) are visible across PRs.
+
+The harness times :func:`~repro.collectives.runner.run_allgather` for all
+three allgather algorithms over a size/topology grid drawn from the Fig. 5
+configuration (same seed, same Erdos-Renyi topologies, same machine shape)
+and reports median-of-k wall seconds plus simulated messages per wall second.
+
+Correctness is asserted, not assumed:
+
+* every repeat of a case must produce a bit-identical ``simulated_time``
+  (the engine is deterministic by contract);
+* a ``trace=True`` run must produce the same ``simulated_time`` and message
+  count as ``trace=False`` (tracing must never perturb timing);
+* when the archived Fig. 5 rows (``results_medium/fig5_speedup_scaling.json``)
+  cover a case, the measured ``simulated_time`` must equal the archived value
+  bit-for-bit — the optimized fast path must not change simulation results;
+* when a recorded baseline (``benchmarks/baseline_sim_core.json``) is
+  present, current ``simulated_time`` values must be bit-identical to the
+  baseline's, and the report includes the wall-time speedup against it.
+
+Output is written to ``BENCH_sim_core.json`` (override with ``out_path``).
+Run via ``python -m repro bench --wallclock [--smoke]``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.bench.config import BenchScale, bench_machine, get_scale
+from repro.bench.reporting import format_table, geometric_mean
+from repro.collectives.base import get_algorithm
+from repro.collectives.runner import run_allgather
+from repro.topology.random_graphs import erdos_renyi_topology
+from repro.utils.sizes import format_size, parse_size
+
+#: All three allgather algorithms, timed per case.
+ALGORITHMS = ("naive", "common_neighbor", "distance_halving")
+#: Topology seed — matches the Fig. 5 driver so archived rows are comparable.
+FIG5_SEED = 23
+#: Fixed Common Neighbor K (Fig. 5 sweeps K; the harness pins it for speed).
+CN_K = 4
+#: Grid subset of the Fig. 5 configuration used for the full harness run.
+FULL_DENSITIES = (0.1, 0.3)
+FULL_SIZES = ("8", "8KB", "512KB")
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+#: Recorded pre-optimization wall/sim numbers (committed; same-host medians).
+DEFAULT_BASELINE = _REPO_ROOT / "benchmarks" / "baseline_sim_core.json"
+#: Archived Fig. 5 medium rows from the seed engine — the golden sim times.
+DEFAULT_GOLDEN = _REPO_ROOT / "results_medium" / "fig5_speedup_scaling.json"
+
+
+@dataclass(frozen=True)
+class WallclockCase:
+    """One (algorithm, communicator, density, size) cell of the grid."""
+
+    algorithm: str
+    ranks: int
+    ranks_per_socket: int
+    density: float
+    msg_bytes: int
+
+    @property
+    def key(self) -> tuple:
+        return (self.algorithm, self.ranks, self.density, self.msg_bytes)
+
+    def label(self) -> str:
+        return (
+            f"{self.algorithm} n={self.ranks} d={self.density} "
+            f"m={format_size(self.msg_bytes)}"
+        )
+
+
+@dataclass
+class CaseResult:
+    """Timing + invariants for one case over ``repeats`` runs."""
+
+    case: WallclockCase
+    simulated_time: float
+    messages_sent: int
+    wall_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def wall_median(self) -> float:
+        return statistics.median(self.wall_seconds)
+
+    @property
+    def sim_messages_per_sec(self) -> float:
+        """Simulated messages moved per wall second — the throughput metric."""
+        med = self.wall_median
+        return self.messages_sent / med if med > 0 else float("inf")
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.case.algorithm,
+            "ranks": self.case.ranks,
+            "density": self.case.density,
+            "msg_bytes": self.case.msg_bytes,
+            "simulated_time": self.simulated_time,
+            "messages_sent": self.messages_sent,
+            "wall_median": self.wall_median,
+            "wall_seconds": self.wall_seconds,
+            "sim_messages_per_sec": self.sim_messages_per_sec,
+        }
+
+
+def build_cases(scale: BenchScale, smoke: bool = False) -> list[WallclockCase]:
+    """The harness grid: a Fig. 5-shaped subset at the given scale.
+
+    ``smoke`` shrinks to a two-node machine and one (density, size) cell so
+    the harness itself can run inside the tier-1 test suite in well under a
+    second per algorithm.
+    """
+    if smoke:
+        ranks = 4 * scale.ranks_per_socket  # two nodes x two sockets
+        grid = [(ranks, 0.3, "1KB")]
+    else:
+        grid = [
+            (scale.ranks, d, s) for d in FULL_DENSITIES for s in FULL_SIZES
+        ]
+    return [
+        WallclockCase(alg, ranks, scale.ranks_per_socket, density, parse_size(size))
+        for (ranks, density, size) in grid
+        for alg in ALGORITHMS
+    ]
+
+
+def _run_case(case: WallclockCase, repeats: int, check_trace: bool) -> CaseResult:
+    machine = bench_machine(case.ranks, case.ranks_per_socket)
+    topology = erdos_renyi_topology(case.ranks, case.density, seed=FIG5_SEED)
+    kwargs = {"k": CN_K} if case.algorithm == "common_neighbor" else {}
+    algorithm = get_algorithm(case.algorithm, **kwargs)
+    algorithm.setup(topology, machine)  # pay pattern creation once, outside timing
+
+    result: CaseResult | None = None
+    for _ in range(repeats):
+        run = run_allgather(algorithm, topology, machine, case.msg_bytes)
+        if result is None:
+            result = CaseResult(case, run.simulated_time, run.messages_sent)
+        elif run.simulated_time != result.simulated_time:
+            raise RuntimeError(
+                f"non-deterministic simulated_time for {case.label()}: "
+                f"{run.simulated_time!r} != {result.simulated_time!r}"
+            )
+        result.wall_seconds.append(run.wall_time)
+
+    if check_trace:
+        traced = run_allgather(algorithm, topology, machine, case.msg_bytes, trace=True)
+        if (
+            traced.simulated_time != result.simulated_time
+            or traced.messages_sent != result.messages_sent
+        ):
+            raise RuntimeError(
+                f"tracing perturbed the simulation for {case.label()}: "
+                f"traced ({traced.simulated_time!r}, {traced.messages_sent}) vs "
+                f"plain ({result.simulated_time!r}, {result.messages_sent})"
+            )
+    return result
+
+
+def _check_golden(results: list[CaseResult], golden_path: Path) -> dict[str, Any] | None:
+    """Assert bit-identical sim times against the archived Fig. 5 rows."""
+    if not golden_path.is_file():
+        return None
+    payload = json.loads(golden_path.read_text())
+    by_cell: dict[tuple, dict] = {
+        (row["ranks"], row["density"], row["msg_size"]): row
+        for row in payload.get("rows", [])
+    }
+    column = {"naive": "naive_time", "distance_halving": "dh_time"}
+    checked = 0
+    mismatches = []
+    for res in results:
+        case = res.case
+        col = column.get(case.algorithm)
+        row = by_cell.get((case.ranks, case.density, case.msg_bytes))
+        if col is None or row is None:
+            continue  # CN uses a pinned K here; best-K archived rows differ
+        checked += 1
+        if res.simulated_time != row[col]:
+            mismatches.append(
+                f"{case.label()}: got {res.simulated_time!r}, "
+                f"archived {row[col]!r}"
+            )
+    if mismatches:
+        raise RuntimeError(
+            "simulated_time diverged from the archived Fig. 5 results "
+            f"({golden_path}):\n  " + "\n  ".join(mismatches)
+        )
+    return {"path": str(golden_path), "checked_rows": checked, "identical": True}
+
+
+def _check_baseline(
+    results: list[CaseResult], baseline_path: Path
+) -> dict[str, Any] | None:
+    """Assert sim-time equivalence with the recorded baseline; report speedup."""
+    if not baseline_path.is_file():
+        return None
+    payload = json.loads(baseline_path.read_text())
+    by_key = {
+        (r["algorithm"], r["ranks"], r["density"], r["msg_bytes"]): r
+        for r in payload.get("cases", [])
+    }
+    mismatches, speedups = [], []
+    base_total = cur_total = 0.0
+    checked = 0
+    for res in results:
+        base = by_key.get(res.case.key)
+        if base is None:
+            continue
+        checked += 1
+        if res.simulated_time != base["simulated_time"]:
+            mismatches.append(
+                f"{res.case.label()}: got {res.simulated_time!r}, "
+                f"baseline {base['simulated_time']!r}"
+            )
+        base_total += base["wall_median"]
+        cur_total += res.wall_median
+        if res.wall_median > 0:
+            speedups.append(base["wall_median"] / res.wall_median)
+    if mismatches:
+        raise RuntimeError(
+            f"simulated_time diverged from the baseline ({baseline_path}):\n  "
+            + "\n  ".join(mismatches)
+        )
+    if checked == 0:
+        return None
+    return {
+        "path": str(baseline_path),
+        "checked_cases": checked,
+        "sim_time_identical": True,
+        "baseline_total_wall": base_total,
+        "current_total_wall": cur_total,
+        "speedup_total": base_total / cur_total if cur_total > 0 else float("inf"),
+        "speedup_geomean": geometric_mean(speedups) if speedups else float("nan"),
+    }
+
+
+def wallclock_bench(
+    scale: BenchScale | None = None,
+    repeats: int = 3,
+    smoke: bool = False,
+    out_path: str | Path | None = "BENCH_sim_core.json",
+    baseline_path: str | Path | None = None,
+    golden_path: str | Path | None = None,
+    record_baseline: bool = False,
+    verbose: bool = False,
+) -> dict[str, Any]:
+    """Run the wall-clock harness; returns (and writes) the report payload.
+
+    ``record_baseline=True`` writes the measurements to ``baseline_path``
+    (default ``benchmarks/baseline_sim_core.json``) instead of comparing
+    against it — run this once *before* an optimization lands, on the same
+    host that will evaluate it.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    scale = scale or get_scale()
+    baseline_path = Path(baseline_path) if baseline_path else DEFAULT_BASELINE
+    golden_path = Path(golden_path) if golden_path else DEFAULT_GOLDEN
+
+    cases = build_cases(scale, smoke=smoke)
+    results: list[CaseResult] = []
+    for i, case in enumerate(cases):
+        # Trace invariance is cheap at smoke size (check every case); at full
+        # size one case suffices — the property suite covers the rest.
+        check_trace = smoke or i == 0
+        results.append(_run_case(case, repeats, check_trace))
+        if verbose:
+            res = results[-1]
+            print(
+                f"  {case.label():<48} wall={res.wall_median * 1e3:8.2f} ms  "
+                f"{res.sim_messages_per_sec / 1e3:8.1f} kmsg/s"
+            )
+
+    payload: dict[str, Any] = {
+        "experiment": "sim_core_wallclock",
+        "scale": scale.name,
+        "smoke": smoke,
+        "repeats": repeats,
+        "seed": FIG5_SEED,
+        "cn_k": CN_K,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "total_wall_median": sum(r.wall_median for r in results),
+        "total_messages": sum(r.messages_sent for r in results),
+        "cases": [r.to_record() for r in results],
+    }
+
+    if record_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(payload, indent=2))
+        if verbose:
+            print(f"baseline recorded -> {baseline_path}")
+        return payload
+
+    golden = _check_golden(results, golden_path) if not smoke else None
+    if golden:
+        payload["golden_fig5"] = golden
+    baseline = _check_baseline(results, baseline_path)
+    if baseline:
+        payload["baseline"] = baseline
+
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(payload, indent=2))
+
+    if verbose:
+        rows = [
+            (r.case.algorithm, r.case.ranks, r.case.density,
+             format_size(r.case.msg_bytes), r.wall_median * 1e3,
+             r.sim_messages_per_sec / 1e3)
+            for r in results
+        ]
+        print()
+        print(format_table(
+            ["algorithm", "ranks", "density", "msg", "wall (ms)", "kmsg/s"],
+            rows,
+            title=f"sim-core wallclock ({scale.name}{', smoke' if smoke else ''})",
+        ))
+        if golden:
+            print(f"golden Fig.5 check : {golden['checked_rows']} rows bit-identical")
+        if baseline:
+            print(
+                f"baseline speedup   : {baseline['speedup_total']:.2f}x total "
+                f"({baseline['speedup_geomean']:.2f}x geomean) over "
+                f"{baseline['checked_cases']} cases, sim times bit-identical"
+            )
+    return payload

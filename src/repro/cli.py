@@ -86,9 +86,20 @@ def build_parser() -> argparse.ArgumentParser:
     spmm_p.add_argument("--cols", type=int, default=8, help="columns of Y")
 
     bench_p = sub.add_parser("bench", help="regenerate a paper figure")
-    bench_p.add_argument("figure", choices=sorted(FIGURES) + ["all"])
+    bench_p.add_argument("figure", nargs="?", choices=sorted(FIGURES) + ["all"],
+                         help="figure to regenerate (omit with --wallclock)")
     bench_p.add_argument("--scale", choices=("small", "medium", "large", "paper"),
                          default=None)
+    bench_p.add_argument("--wallclock", action="store_true",
+                         help="run the sim-core wall-clock harness instead of a figure")
+    bench_p.add_argument("--smoke", action="store_true",
+                         help="tiny wallclock grid (for CI); implies --repeats 1")
+    bench_p.add_argument("--repeats", type=int, default=3,
+                         help="wallclock median-of-k repeats (default 3)")
+    bench_p.add_argument("--out", default="BENCH_sim_core.json",
+                         help="wallclock report path (default BENCH_sim_core.json)")
+    bench_p.add_argument("--record-baseline", action="store_true",
+                         help="record wallclock measurements as the new baseline")
     return parser
 
 
@@ -247,9 +258,30 @@ def cmd_spmm(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    scale = get_scale(args.scale)
+    if args.wallclock:
+        from repro.bench.wallclock import wallclock_bench
+
+        if args.repeats < 1:
+            print(f"error: --repeats must be >= 1, got {args.repeats}",
+                  file=sys.stderr)
+            return 2
+        wallclock_bench(
+            scale=scale,
+            repeats=1 if args.smoke else args.repeats,
+            smoke=args.smoke,
+            out_path=args.out,
+            record_baseline=args.record_baseline,
+            verbose=True,
+        )
+        return 0
+    if args.figure is None:
+        print("error: a figure name is required unless --wallclock is given",
+              file=sys.stderr)
+        return 2
+
     import repro.bench.figures as figures
 
-    scale = get_scale(args.scale)
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
     for name in names:
         driver = getattr(figures, FIGURES[name])

@@ -164,12 +164,26 @@ def run_allgatherv(
     return run_allgather(algorithm, topology, machine, list(block_sizes), **kwargs)
 
 
-def verify_allgather(topology: DistGraphTopology, run: AllgatherRun) -> None:
+def verify_allgather(
+    topology: DistGraphTopology,
+    run: AllgatherRun,
+    expected_payloads: list[Any] | None = None,
+) -> None:
     """Assert the MPI post-condition: every rank received exactly the blocks
-    of its incoming neighbors (payload identity = source rank by default).
+    of its incoming neighbors, each carrying the payload its source sent.
+
+    ``expected_payloads[r]`` is what rank ``r`` was expected to contribute;
+    it defaults to the rank id, matching :func:`run_allgather`'s default
+    payloads.  Pass the same ``payloads`` list given to the run to verify
+    non-default-payload executions.
 
     Raises :class:`AssertionError` with a precise message on any violation.
     """
+    if expected_payloads is not None and len(expected_payloads) != topology.n:
+        raise ValueError(
+            f"expected_payloads has {len(expected_payloads)} entries for "
+            f"{topology.n} ranks"
+        )
     for v in range(topology.n):
         expected = set(topology.in_neighbors(v))
         got = set(run.results[v])
@@ -181,8 +195,9 @@ def verify_allgather(topology: DistGraphTopology, run: AllgatherRun) -> None:
                 f"unexpected blocks from {sorted(extra)}"
             )
         for src, payload in run.results[v].items():
-            if payload != src:
+            want = src if expected_payloads is None else expected_payloads[src]
+            if payload != want:
                 raise AssertionError(
                     f"[{run.algorithm}] rank {v}: block from {src} carries wrong "
-                    f"payload {payload!r}"
+                    f"payload {payload!r} (expected {want!r})"
                 )

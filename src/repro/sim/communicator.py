@@ -24,11 +24,17 @@ ANY_SOURCE: int = -1
 class SimCommunicator:
     """Per-rank handle into the engine; mirrors a tiny slice of ``MPI_Comm``."""
 
-    __slots__ = ("engine", "rank")
+    __slots__ = ("engine", "rank", "_rank_now", "_call_overhead", "_memcpy_beta")
 
     def __init__(self, engine: "Engine", rank: int):
         self.engine = engine
         self.rank = rank
+        # Hot-path caches: every isend/irecv charges the per-call overhead,
+        # so resolve the constants (and the clock list) once per rank
+        # instead of chasing engine.machine.params on each post.
+        self._rank_now = engine.rank_now
+        self._call_overhead = engine.machine.params.call_overhead
+        self._memcpy_beta = engine.machine.params.memcpy_beta
 
     # ------------------------------------------------------------------ intro
     @property
@@ -46,19 +52,18 @@ class SimCommunicator:
         """Post a non-blocking send of ``nbytes`` (+ optional payload object)."""
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
-        self._charge_call()
+        # Per-call CPU overhead, charged inline (one method call per posted
+        # operation adds up over million-message sweeps).
+        self._rank_now[self.rank] += self._call_overhead
         return self.engine.post_send(self.rank, dst, nbytes, tag, payload)
 
     def irecv(self, src: int = ANY_SOURCE, tag: int = 0) -> Request:
         """Post a non-blocking receive from ``src`` (default any source)."""
-        self._charge_call()
+        self._rank_now[self.rank] += self._call_overhead
         source = None if src == ANY_SOURCE else src
         if source is not None and not 0 <= source < self.size:
             raise ValueError(f"source rank {source} out of range [0, {self.size})")
         return self.engine.post_recv(self.rank, source, tag)
-
-    def _charge_call(self) -> None:
-        self.engine.rank_now[self.rank] += self.engine.machine.params.call_overhead
 
     # -------------------------------------------------------------- conditions
     def wait(self, request: Request):
@@ -92,7 +97,7 @@ class SimCommunicator:
         """
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
-        self.engine.rank_now[self.rank] += self.engine.machine.params.memcpy_time(nbytes)
+        self._rank_now[self.rank] += nbytes / self._memcpy_beta
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimCommunicator(rank={self.rank}/{self.size})"

@@ -5,6 +5,16 @@ Each rank runs a *program*: a generator that posts operations through its
 The engine is fully deterministic — events are ordered by ``(time, seq)``
 where ``seq`` is allocation order — and detects deadlock (all processes
 blocked with an empty event heap).
+
+Hot-path notes: matching tables hold plain deques keyed per destination and
+are pruned as soon as a queue drains (long sweeps must not accumulate empty
+deques or consumed-message tombstones); unexpected messages live in one
+``(src, tag)`` table with a delivery stamp, and ANY_SOURCE receives match
+the minimum stamp over queue heads instead of maintaining a second queue
+per tag.  Blocked-state diagnostics are built lazily (only when a deadlock
+is actually reported), and request completion assigns ``completion_time``
+directly for engine-owned requests instead of going through the guarded
+:meth:`~repro.sim.request.Request.complete`.
 """
 
 from __future__ import annotations
@@ -19,6 +29,10 @@ from repro.cluster.spec import LinkClass
 from repro.sim.fabric import Fabric
 from repro.sim.request import Request, RequestKind
 from repro.sim.tracing import TraceCollector
+
+# Hot-path constants: enum member lookup is a descriptor call per access.
+_SEND = RequestKind.SEND
+_RECV = RequestKind.RECV
 
 
 class DeadlockError(RuntimeError):
@@ -54,27 +68,31 @@ class _Barrier:
 class _WaitState:
     """Bookkeeping for one blocked process."""
 
-    __slots__ = ("rank", "start", "remaining", "latest")
+    __slots__ = ("rank", "remaining", "latest")
 
     def __init__(self, rank: int, start: float):
         self.rank = rank
-        self.start = start
         self.remaining = 0
         self.latest = start
 
 
 class _Unexpected:
-    """A delivered message with no matching posted receive yet."""
+    """A delivered message with no matching posted receive yet.
 
-    __slots__ = ("src", "tag", "nbytes", "payload", "arrival", "consumed")
+    ``seq`` is the engine-wide delivery stamp: ANY_SOURCE matching picks the
+    lowest stamp among candidate queue heads, which reproduces arrival-order
+    (FIFO, non-overtaking) matching without keeping a second per-tag queue.
+    """
 
-    def __init__(self, src: int, tag: int, nbytes: int, payload, arrival: float):
+    __slots__ = ("src", "tag", "nbytes", "payload", "arrival", "seq")
+
+    def __init__(self, src: int, tag: int, nbytes: int, payload, arrival: float, seq: int):
         self.src = src
         self.tag = tag
         self.nbytes = nbytes
         self.payload = payload
         self.arrival = arrival
-        self.consumed = False
+        self.seq = seq
 
 
 class Engine:
@@ -104,15 +122,22 @@ class Engine:
         self._seq = 0
         self._programs: dict[int, Generator] = {}
         self._finished: dict[int, float] = {}
-        self._blocked: dict[int, str] = {}
+        #: rank -> "compute" | "barrier" | _WaitState; formatted lazily for
+        #: deadlock reports only, never on the hot path.
+        self._blocked: dict[int, object] = {}
 
-        # Per-destination matching state.
+        # Per-destination matching state.  Queues are created on demand and
+        # deleted as soon as they drain.  Unexpected messages live in a
+        # single (src, tag)-keyed table per destination; ANY_SOURCE receives
+        # match by minimum delivery stamp (`_Unexpected.seq`) over the
+        # candidate queue heads, so no message is ever double-booked and no
+        # consumed tombstone can accumulate.
         self._posted: list[dict[tuple[int, int], deque[Request]]] = [dict() for _ in range(n_ranks)]
         self._posted_any: list[dict[int, deque[Request]]] = [dict() for _ in range(n_ranks)]
         self._unexpected: list[dict[tuple[int, int], deque[_Unexpected]]] = [
             dict() for _ in range(n_ranks)
         ]
-        self._unexpected_any: list[dict[int, deque[_Unexpected]]] = [dict() for _ in range(n_ranks)]
+        self._useq = 0
 
         # Barrier state.
         self._barrier_waiting: list[int] = []
@@ -153,16 +178,27 @@ class Engine:
 
     def run(self) -> float:
         """Run to completion; returns the makespan (max finish time)."""
-        while self._heap:
-            time, _, rank = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        resume = self._resume
+        while heap:
+            time, _, rank = pop(heap)
             self.now = time
-            self._resume(rank, time)
+            resume(rank, time)
         if self._programs:
             detail = ", ".join(
-                f"rank {r} ({self._blocked.get(r, 'runnable')})" for r in sorted(self._programs)
+                f"rank {r} ({self._blocked_reason(r)})" for r in sorted(self._programs)
             )
             raise DeadlockError(f"simulation deadlocked; blocked processes: {detail}")
         return self.makespan()
+
+    def _blocked_reason(self, rank: int) -> str:
+        state = self._blocked.get(rank)
+        if state is None:
+            return "runnable"
+        if isinstance(state, _WaitState):
+            return f"waitall({state.remaining} pending)"
+        return str(state)
 
     def makespan(self) -> float:
         return max(self._finished.values(), default=0.0)
@@ -178,21 +214,32 @@ class Engine:
         gen = self._programs.get(rank)
         if gen is None:  # stale event (e.g. barrier resumed earlier); ignore
             return
-        self.rank_now[rank] = max(self.rank_now[rank], time)
+        rank_now = self.rank_now
+        if time > rank_now[rank]:
+            rank_now[rank] = time
         try:
             condition = next(gen)
         except StopIteration:
             del self._programs[rank]
             self._blocked.pop(rank, None)
-            self._finished[rank] = self.rank_now[rank]
+            self._finished[rank] = rank_now[rank]
             return
-        self._handle_condition(rank, condition)
+        cls = condition.__class__
+        if cls is _WaitAll:
+            self._begin_wait(rank, condition.requests)
+        elif cls is _Compute:
+            self._blocked[rank] = "compute"
+            self._schedule(rank_now[rank] + condition.duration, rank)
+        elif cls is _Barrier:
+            self._enter_barrier(rank)
+        else:
+            self._handle_condition(rank, condition)
 
     def _handle_condition(self, rank: int, condition) -> None:
-        now = self.rank_now[rank]
+        # Slow path: accept subclasses of the condition types, reject junk.
         if isinstance(condition, _Compute):
             self._blocked[rank] = "compute"
-            self._schedule(now + condition.duration, rank)
+            self._schedule(self.rank_now[rank] + condition.duration, rank)
         elif isinstance(condition, _WaitAll):
             self._begin_wait(rank, condition.requests)
         elif isinstance(condition, _Barrier):
@@ -205,22 +252,26 @@ class Engine:
 
     def _begin_wait(self, rank: int, requests: tuple[Request, ...]) -> None:
         state = _WaitState(rank, self.rank_now[rank])
+        latest = state.latest
+        remaining = 0
         for req in requests:
             if req.owner != rank:
                 raise ValueError(f"rank {rank} waiting on request owned by rank {req.owner}")
-            if req.determined:
-                if req.completion_time > state.latest:
-                    state.latest = req.completion_time
+            t = req.completion_time
+            if t is not None:
+                if t > latest:
+                    latest = t
             else:
                 if req._waiter is not None:
                     raise RuntimeError("request already has a waiter")
                 req._waiter = state
-                state.remaining += 1
-        if state.remaining == 0:
-            self._schedule(state.latest, rank)
+                remaining += 1
+        state.latest = latest
+        if remaining == 0:
+            self._schedule(latest, rank)
         else:
-            self._blocked[rank] = f"waitall({state.remaining} pending)"
-            state.rank = rank
+            state.remaining = remaining
+            self._blocked[rank] = state
 
     def _request_determined(self, req: Request) -> None:
         """A pending request just completed; unblock its waiter if any."""
@@ -236,15 +287,34 @@ class Engine:
             self._schedule(state.latest, state.rank)
 
     def _enter_barrier(self, rank: int) -> None:
+        """MPI-style barrier over the engine's processes.
+
+        Every spawned process must reach the barrier.  A process that
+        already finished can never enter it, so — exactly like real MPI —
+        the collective can never complete: that is a deadlock, reported
+        eagerly instead of silently releasing over a partial communicator.
+        """
+        if self._finished:
+            gone = sorted(self._finished)
+            raise DeadlockError(
+                f"rank {rank} entered a barrier but rank(s) {gone} already "
+                "finished and can never participate; a real MPI barrier over "
+                "this communicator would deadlock"
+            )
         self._blocked[rank] = "barrier"
         self._barrier_waiting.append(rank)
         if self.rank_now[rank] > self._barrier_latest:
             self._barrier_latest = self.rank_now[rank]
         live = len(self._programs)
         if len(self._barrier_waiting) == live:
-            # Dissemination-barrier cost model: ceil(log2 n) network latencies.
-            alpha = self.machine.params.cost(LinkClass.INTER_NODE).alpha
-            cost = math.ceil(math.log2(max(2, live))) * alpha
+            # Dissemination-barrier cost model: ceil(log2 n) network
+            # latencies; a single process synchronizes with nobody and
+            # pays no rounds.
+            if live > 1:
+                alpha = self.machine.params.cost(LinkClass.INTER_NODE).alpha
+                cost = math.ceil(math.log2(live)) * alpha
+            else:
+                cost = 0.0
             release = self._barrier_latest + cost
             for r in self._barrier_waiting:
                 self._blocked.pop(r, None)
@@ -259,8 +329,8 @@ class Engine:
             raise ValueError(f"destination rank {dst} out of range [0, {self.n_ranks})")
         post_time = self.rank_now[src]
         timing = self.fabric.transmit(src, dst, nbytes, post_time)
-        req = Request(RequestKind.SEND, src, dst, tag, post_time)
-        req.complete(timing.send_complete)
+        req = Request(_SEND, src, dst, tag, post_time)
+        req.completion_time = timing.send_complete  # fresh request: no guard needed
         self.messages_sent += 1
         self.bytes_sent += nbytes
         if self.trace is not None:
@@ -271,49 +341,93 @@ class Engine:
     def post_recv(self, dst: int, src: int | None, tag: int) -> Request:
         """Post a receive; ``src=None`` matches any source (MPI_ANY_SOURCE)."""
         now = self.rank_now[dst]
-        req = Request(RequestKind.RECV, dst, src, tag, now)
-        msg = self._match_unexpected(dst, src, tag)
+        req = Request(_RECV, dst, src, tag, now)
+        msg = None
+        table_u = self._unexpected[dst]
+        if table_u:
+            if src is None:
+                msg = self._match_unexpected_any(dst, tag)
+            else:
+                key = (src, tag)
+                queue = table_u.get(key)
+                if queue is not None:
+                    msg = queue.popleft()
+                    if not queue:
+                        del table_u[key]
         if msg is not None:
             self._complete_recv(req, msg.src, msg.nbytes, msg.payload, msg.arrival)
         elif src is None:
-            self._posted_any[dst].setdefault(tag, deque()).append(req)
+            table = self._posted_any[dst]
+            queue = table.get(tag)
+            if queue is None:
+                table[tag] = queue = deque()
+            queue.append(req)
         else:
-            self._posted[dst].setdefault((src, tag), deque()).append(req)
+            table = self._posted[dst]
+            key = (src, tag)
+            queue = table.get(key)
+            if queue is None:
+                table[key] = queue = deque()
+            queue.append(req)
         return req
 
-    def _match_unexpected(self, dst: int, src: int | None, tag: int) -> _Unexpected | None:
-        if src is None:
-            queue = self._unexpected_any[dst].get(tag)
-        else:
-            queue = self._unexpected[dst].get((src, tag))
-        while queue:
-            msg = queue.popleft()
-            if not msg.consumed:
-                msg.consumed = True
-                return msg
-        return None
+    def _match_unexpected_any(self, dst: int, tag: int) -> _Unexpected | None:
+        """Earliest-delivered unexpected message carrying ``tag``, any source.
+
+        Queue heads are each source's oldest pending message, so the global
+        minimum delivery stamp over matching heads is exactly the message an
+        arrival-ordered ANY queue would surface.
+        """
+        table = self._unexpected[dst]
+        best_key = None
+        best = None
+        for key, queue in table.items():
+            if key[1] == tag:
+                head = queue[0]
+                if best is None or head.seq < best.seq:
+                    best = head
+                    best_key = key
+        if best is None:
+            return None
+        queue = table[best_key]
+        queue.popleft()
+        if not queue:
+            del table[best_key]
+        return best
 
     def _complete_recv(self, req: Request, src: int, nbytes: int, payload, arrival: float) -> None:
         req.source = src
         req.nbytes = nbytes
         req.payload = payload
-        req.complete(arrival if arrival > req.post_time else req.post_time)
+        req.completion_time = arrival if arrival > req.post_time else req.post_time
         self._request_determined(req)
 
     def _deliver(self, src: int, dst: int, tag: int, nbytes: int, payload, arrival: float) -> None:
-        posted = self._posted[dst].get((src, tag))
+        table = self._posted[dst]
+        key = (src, tag)
+        posted = table.get(key)
         if posted:
             req = posted.popleft()
+            if not posted:
+                del table[key]
             self._complete_recv(req, src, nbytes, payload, arrival)
             return
-        posted_any = self._posted_any[dst].get(tag)
-        if posted_any:
-            req = posted_any.popleft()
-            self._complete_recv(req, src, nbytes, payload, arrival)
-            return
-        msg = _Unexpected(src, tag, nbytes, payload, arrival)
-        self._unexpected[dst].setdefault((src, tag), deque()).append(msg)
-        self._unexpected_any[dst].setdefault(tag, deque()).append(msg)
+        table_any = self._posted_any[dst]
+        if table_any:
+            posted_any = table_any.get(tag)
+            if posted_any:
+                req = posted_any.popleft()
+                if not posted_any:
+                    del table_any[tag]
+                self._complete_recv(req, src, nbytes, payload, arrival)
+                return
+        self._useq = seq = self._useq + 1
+        msg = _Unexpected(src, tag, nbytes, payload, arrival, seq)
+        table_u = self._unexpected[dst]
+        queue = table_u.get(key)
+        if queue is None:
+            table_u[key] = queue = deque()
+        queue.append(msg)
 
     # ------------------------------------------------------------- conditions
     @staticmethod

@@ -12,10 +12,18 @@ arrives at the receiver at the pipeline's end plus the path startup latency.
 Uncontended, this reduces exactly to Hockney's ``alpha + m/beta``; under
 load, queueing at ports/NICs/global links produces the serialization and
 congestion effects the paper's Section IV describes.
+
+Hot-path design: everything about a message's pipeline except its byte count
+and the adaptive lane choice is determined by the (socket, socket) pair, so
+:class:`Fabric` caches one :class:`_StagePlan` per socket pair — resolved
+resource objects, link class, alpha, inverse betas — and ``transmit`` runs a
+branch-light, allocation-free claim sequence against it.  This is what keeps
+paper-scale sweeps (millions of messages) feasible in pure Python.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,13 +33,80 @@ from repro.cluster.spec import LinkClass
 from repro.sim.resources import ResourcePool, SerialResource
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class MessageTiming:
     """Timing of one message: when the sender's port frees, when data lands."""
 
     send_complete: float
     arrival: float
     link_class: LinkClass
+
+
+def _next_free(res: SerialResource) -> float:
+    """Adaptive-routing sort key (module-level: no per-call closure)."""
+    return res.next_free
+
+
+#: Machine-determined plan costs, shared across every Fabric built over the
+#: same :class:`Machine` object.  Each ``run_allgather`` constructs a fresh
+#: Engine/Fabric, but link classes, alphas, hop surcharges and link keys are
+#: functions of the machine alone — resolving them once per machine instead
+#: of once per run keeps repeated sweeps off the ``link_class``/``node_of``
+#: slow path.  Entries map a socket-pair key to ``(link_class, alpha,
+#: hop_extra, inv_beta, link_inv_beta, node_src, node_dst, group_keys,
+#: fixed_keys)`` with ``node_src == -1`` marking intra-node paths.  Keyed by
+#: ``id()`` with a weakref guard: a dead Machine's entry is dropped by the
+#: callback, and the identity re-check protects against id reuse.
+_COSTS_BY_MACHINE: dict[int, tuple[weakref.ref, dict[int, tuple]]] = {}
+
+
+def _machine_cost_table(machine: Machine) -> dict[int, tuple]:
+    key = id(machine)
+    entry = _COSTS_BY_MACHINE.get(key)
+    if entry is not None and entry[0]() is machine:
+        return entry[1]
+    table: dict[int, tuple] = {}
+
+    def _drop(_ref, _key=key):
+        _COSTS_BY_MACHINE.pop(_key, None)
+
+    _COSTS_BY_MACHINE[key] = (weakref.ref(machine, _drop), table)
+    return table
+
+
+class _StagePlan:
+    """Everything fixed about a (socket, socket) pair's message pipeline.
+
+    ``link_groups`` is non-None for adaptive routing (one tuple of
+    interchangeable lane resources per bottleneck crossed); ``fixed_links``
+    is the oblivious (hash-routed) lane set.  Both are empty/None for paths
+    that cross no shared bottleneck.  ``nic_tx``/``nic_rx`` are None for
+    intra-node classes.
+    """
+
+    __slots__ = (
+        "link_class",
+        "alpha",
+        "hop_extra",
+        "inv_beta",
+        "nic_tx",
+        "nic_rx",
+        "fixed_links",
+        "link_groups",
+        "link_inv_beta",
+    )
+
+    def __init__(self, link_class, alpha, hop_extra, inv_beta, nic_tx, nic_rx,
+                 fixed_links, link_groups, link_inv_beta):
+        self.link_class = link_class
+        self.alpha = alpha
+        self.hop_extra = hop_extra
+        self.inv_beta = inv_beta
+        self.nic_tx = nic_tx
+        self.nic_rx = nic_rx
+        self.fixed_links = fixed_links
+        self.link_groups = link_groups
+        self.link_inv_beta = link_inv_beta
 
 
 class Fabric:
@@ -44,30 +119,89 @@ class Fabric:
 
     def __init__(self, machine: Machine, noise_seed: int = 0) -> None:
         self.machine = machine
-        self._jitter = machine.params.jitter
+        params = machine.params
+        self._jitter = params.jitter
         self._noise = np.random.default_rng(noise_seed) if self._jitter > 0 else None
         self._send_ports = ResourcePool()
         self._recv_ports = ResourcePool()
         self._nic_tx = ResourcePool()
         self._nic_rx = ResourcePool()
         self._links = ResourcePool()
-        # Memoized per-pair costs; rank-pair space can be huge, so key by the
-        # much smaller (socket, socket) pair which fully determines the cost.
-        self._pair_cache: dict[tuple[int, int], tuple[LinkClass, float, float]] = {}
 
-    # ----------------------------------------------------------------- lookup
-    def _pair_costs(self, src: int, dst: int) -> tuple[LinkClass, float, float, float]:
-        """(class, port occupancy alpha, hop surcharge, inverse beta), cached."""
-        spec = self.machine.spec
-        key = (spec.socket_of(src), spec.socket_of(dst))
-        cached = self._pair_cache.get(key)
-        if cached is None:
-            cls = self.machine.link_class(src, dst)
-            cost = self.machine.params.cost(cls)
-            hop_extra = self.machine.hop_extra_alpha(src, dst)
-            cached = (cls, cost.alpha, hop_extra, 1.0 / cost.beta)
-            self._pair_cache[key] = cached
-        return cached
+        spec = machine.spec
+        self._ranks_per_socket = spec.ranks_per_socket
+        self._sockets_per_node = spec.sockets_per_node
+        self._n_sockets = spec.n_sockets
+        self._memcpy_beta = params.memcpy_beta
+        self._nic_overhead = params.nic_message_overhead
+        self._link_overhead = params.link_message_overhead
+        self._adaptive = params.adaptive_routing
+        # Per-(socket, socket) pipeline plans, keyed by the flat socket-pair
+        # index; rank-pair space can be huge, the socket pair fully
+        # determines every per-message cost and resource except byte count.
+        # Resource objects are per-Fabric; the cost half of each plan comes
+        # from the machine-wide shared table.
+        self._plans: dict[int, _StagePlan] = {}
+        self._shared_costs = _machine_cost_table(machine)
+        # Lazy per-rank port caches (list index beats dict hashing; the pool
+        # stays authoritative so utilization() reports only touched ports).
+        self._send_fast: list[SerialResource | None] = [None] * spec.n_ranks
+        self._recv_fast: list[SerialResource | None] = [None] * spec.n_ranks
+
+    # ----------------------------------------------------------------- plans
+    def _build_plan(self, src: int, dst: int, key: int) -> _StagePlan:
+        """Resolve the full pipeline for ``src``'s and ``dst``'s socket pair."""
+        entry = self._shared_costs.get(key)
+        if entry is None:
+            entry = self._resolve_costs(src, dst)
+            self._shared_costs[key] = entry
+        (cls, alpha, hop_extra, inv_beta, link_inv_beta,
+         node_src, node_dst, group_keys, fixed_keys) = entry
+
+        nic_tx = nic_rx = None
+        fixed_links: tuple[SerialResource, ...] = ()
+        link_groups = None
+        if node_src >= 0:
+            nic_tx = self._nic_tx.get(node_src)
+            nic_rx = self._nic_rx.get(node_dst)
+            if group_keys is not None:
+                link_groups = tuple(
+                    tuple(self._links.get(k) for k in group) for group in group_keys
+                )
+            elif fixed_keys:
+                fixed_links = tuple(self._links.get(k) for k in fixed_keys)
+        return _StagePlan(cls, alpha, hop_extra, inv_beta,
+                          nic_tx, nic_rx, fixed_links, link_groups, link_inv_beta)
+
+    def _resolve_costs(self, src: int, dst: int) -> tuple:
+        """Machine-determined half of a plan (no resource objects)."""
+        machine = self.machine
+        params = machine.params
+        cls = machine.link_class(src, dst)
+        cost = params.cost(cls)
+        hop_extra = machine.hop_extra_alpha(src, dst)
+        inv_beta = 1.0 / cost.beta
+
+        node_src = node_dst = -1
+        group_keys = None
+        fixed_keys: tuple = ()
+        link_inv_beta = 0.0
+        if cls in (LinkClass.INTER_NODE, LinkClass.INTER_GROUP):
+            spec = machine.spec
+            node_src, node_dst = spec.node_of(src), spec.node_of(dst)
+            if cls is LinkClass.INTER_GROUP:
+                link_inv_beta = 1.0 / params.cost(LinkClass.INTER_GROUP).beta
+                if self._adaptive:
+                    group_keys = tuple(
+                        tuple(group)
+                        for group in machine.network.link_choices(node_src, node_dst)
+                    )
+                else:
+                    fixed_keys = tuple(
+                        machine.network.shared_link_keys(node_src, node_dst)
+                    )
+        return (cls, cost.alpha, hop_extra, inv_beta, link_inv_beta,
+                node_src, node_dst, group_keys, fixed_keys)
 
     # --------------------------------------------------------------- schedule
     def transmit(self, src: int, dst: int, nbytes: int, post_time: float) -> MessageTiming:
@@ -79,64 +213,123 @@ class Fabric:
         Node NICs serialize ``nic_message_overhead + m/beta`` (message-rate
         limit), producing the node-level serialization of the paper's
         Eq. (5); shared global links serialize bandwidth.
-        """
-        params = self.machine.params
-        if src == dst:
-            dur = params.memcpy_time(nbytes)
-            return MessageTiming(post_time + dur, post_time + dur, LinkClass.SELF)
 
-        cls, alpha, hop_extra, inv_beta = self._pair_costs(src, dst)
+        Invariants (see docs/ARCHITECTURE.md): claims are made in event
+        order, stages are claimed upstream-to-downstream, and a stage
+        extended by upstream streaming (cut-through) credits the extension
+        to its ``busy_time`` so utilization reflects true occupancy.
+        """
+        if src == dst:
+            dur = nbytes / self._memcpy_beta
+            done = post_time + dur
+            return MessageTiming(done, done, LinkClass.SELF)
+
+        rps = self._ranks_per_socket
+        key = (src // rps) * self._n_sockets + (dst // rps)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = self._build_plan(src, dst, key)
+            self._plans[key] = plan
+
+        alpha = plan.alpha
+        hop_extra = plan.hop_extra
         if self._noise is not None:
             noise = 1.0 + self._jitter * float(self._noise.random())
             alpha *= noise
             hop_extra *= noise
-        dur = nbytes * inv_beta
+        dur = nbytes * plan.inv_beta
         port_dur = alpha + dur
 
-        stages: list[tuple[SerialResource, float]] = [(self._send_ports.get(src), port_dur)]
-        if cls in (LinkClass.INTER_NODE, LinkClass.INTER_GROUP):
-            spec = self.machine.spec
-            node_src, node_dst = spec.node_of(src), spec.node_of(dst)
-            nic_dur = params.nic_message_overhead + dur
-            stages.append((self._nic_tx.get(node_src), nic_dur))
-            if cls is LinkClass.INTER_GROUP:
-                link_inv_beta = 1.0 / params.cost(LinkClass.INTER_GROUP).beta
-                link_dur = params.link_message_overhead + nbytes * link_inv_beta
-                for key in self._route(node_src, node_dst):
-                    stages.append((self._links.get(key), link_dur))
-            stages.append((self._nic_rx.get(node_dst), nic_dur))
-        stages.append((self._recv_ports.get(dst), port_dur))
+        # Stage 1: sender port.  The first stage can never be outrun by
+        # upstream data, so no cut-through adjustment is needed here.
+        res = self._send_fast[src]
+        if res is None:
+            self._send_fast[src] = res = self._send_ports.get(src)
+        start = post_time if post_time > res.next_free else res.next_free
+        end = start + port_dur
+        res.next_free = end
+        res.busy_time += port_dur
+        res.claims += 1
+        send_complete = end
+        prev_start = start
+        pipeline_end = end
 
-        prev_start = post_time
-        pipeline_end = post_time
-        send_complete = post_time
-        for i, (res, stage_dur) in enumerate(stages):
-            start, end = res.claim(prev_start, stage_dur)
+        nic = plan.nic_tx
+        if nic is not None:
+            nic_dur = self._nic_overhead + dur
+            # TX NIC.
+            start = prev_start if prev_start > nic.next_free else nic.next_free
+            end = start + nic_dur
+            nic.busy_time += nic_dur
+            nic.claims += 1
             if end < pipeline_end:
-                # A faster downstream stage cannot finish before upstream data
-                # has fully streamed through.
-                res.next_free = pipeline_end
+                nic.busy_time += pipeline_end - end
                 end = pipeline_end
+            nic.next_free = end
             prev_start = start
             pipeline_end = end
-            if i == 0:
-                send_complete = end
-        return MessageTiming(send_complete, pipeline_end + hop_extra, cls)
+            # Shared bottleneck links (inter-group only).
+            groups = plan.link_groups
+            if groups is not None or plan.fixed_links:
+                link_dur = self._link_overhead + nbytes * plan.link_inv_beta
+                if groups is None:
+                    lanes = plan.fixed_links
+                elif len(groups) == 1:
+                    # Adaptive (UGAL-like): least-loaded lane, first minimal
+                    # on ties.  One bottleneck with two lanes is the common
+                    # Dragonfly+ case; avoid min()'s key-fn calls there.
+                    group = groups[0]
+                    if len(group) == 2:
+                        a = group[0]
+                        b = group[1]
+                        lanes = ((a if a.next_free <= b.next_free else b),)
+                    else:
+                        lanes = (min(group, key=_next_free),)
+                else:
+                    # Pick every lane before claiming any.
+                    lanes = [min(group, key=_next_free) for group in groups]
+                for res in lanes:
+                    start = prev_start if prev_start > res.next_free else res.next_free
+                    end = start + link_dur
+                    res.busy_time += link_dur
+                    res.claims += 1
+                    if end < pipeline_end:
+                        res.busy_time += pipeline_end - end
+                        end = pipeline_end
+                    res.next_free = end
+                    prev_start = start
+                    pipeline_end = end
+            # RX NIC.
+            nic = plan.nic_rx
+            start = prev_start if prev_start > nic.next_free else nic.next_free
+            end = start + nic_dur
+            nic.busy_time += nic_dur
+            nic.claims += 1
+            if end < pipeline_end:
+                nic.busy_time += pipeline_end - end
+                end = pipeline_end
+            nic.next_free = end
+            prev_start = start
+            pipeline_end = end
 
-    # ---------------------------------------------------------------- routing
-    def _route(self, node_src: int, node_dst: int):
-        """Pick the bottleneck lanes this message occupies.
+        # Final stage: receiver port.
+        res = self._recv_fast[dst]
+        if res is None:
+            self._recv_fast[dst] = res = self._recv_ports.get(dst)
+        start = prev_start if prev_start > res.next_free else res.next_free
+        end = start + port_dur
+        res.busy_time += port_dur
+        res.claims += 1
+        if end < pipeline_end:
+            # A faster downstream stage cannot finish before upstream data
+            # has fully streamed through; the port stays occupied while it
+            # drains, so the extension counts as busy time.
+            res.busy_time += pipeline_end - end
+            end = pipeline_end
+        res.next_free = end
+        pipeline_end = end
 
-        With adaptive routing (default, UGAL-like) each choice group yields
-        its currently least-loaded lane; oblivious routing uses the
-        network's hash-selected lanes.
-        """
-        if not self.machine.params.adaptive_routing:
-            return self.machine.network.shared_link_keys(node_src, node_dst)
-        chosen = []
-        for group in self.machine.network.link_choices(node_src, node_dst):
-            chosen.append(min(group, key=lambda key: self._links.get(key).next_free))
-        return chosen
+        return MessageTiming(send_complete, pipeline_end + hop_extra, plan.link_class)
 
     # -------------------------------------------------------------- reporting
     def utilization(self, horizon: float) -> dict[str, dict]:

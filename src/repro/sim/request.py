@@ -50,6 +50,12 @@ class Request:
         return self.completion_time is not None
 
     def complete(self, time: float) -> None:
+        """Guarded completion for external callers.
+
+        The engine itself assigns ``completion_time`` directly on requests
+        it just created or matched (the guard is redundant there and the
+        call sits on the per-message hot path).
+        """
         if self.completion_time is not None:
             raise RuntimeError(f"request completed twice: {self!r}")
         self.completion_time = time

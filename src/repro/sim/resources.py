@@ -18,6 +18,12 @@ class SerialResource:
     ``claim(earliest, duration)`` reserves the resource for ``duration``
     starting no earlier than ``earliest`` and no earlier than the end of the
     previous claim, and returns ``(start, end)``.
+
+    Invariant: ``busy_time`` is total true occupancy.  Callers that extend a
+    reservation in place (the fabric's cut-through adjustment, which holds a
+    stage until upstream data has streamed through) must credit the
+    extension to ``busy_time`` alongside ``next_free`` — pushing only
+    ``next_free`` makes :meth:`ResourcePool.utilization` under-report.
     """
 
     __slots__ = ("key", "next_free", "busy_time", "claims")

@@ -1,0 +1,109 @@
+"""Tests for the sim-core wall-clock harness (and its CLI entry point)."""
+
+import json
+
+import pytest
+
+from repro.bench.config import get_scale
+from repro.bench.wallclock import (
+    ALGORITHMS,
+    FULL_DENSITIES,
+    FULL_SIZES,
+    build_cases,
+    wallclock_bench,
+)
+from repro.cli import main
+
+SMALL = get_scale("small")
+
+
+class TestBuildCases:
+    def test_full_grid_shape(self):
+        cases = build_cases(SMALL)
+        assert len(cases) == len(ALGORITHMS) * len(FULL_DENSITIES) * len(FULL_SIZES)
+        assert {c.algorithm for c in cases} == set(ALGORITHMS)
+        assert all(c.ranks == SMALL.ranks for c in cases)
+
+    def test_smoke_grid_is_tiny(self):
+        cases = build_cases(SMALL, smoke=True)
+        assert len(cases) == len(ALGORITHMS)
+        assert all(c.ranks == 4 * SMALL.ranks_per_socket for c in cases)
+
+
+class TestWallclockBench:
+    def test_smoke_run_writes_report(self, tmp_path):
+        out = tmp_path / "bench.json"
+        payload = wallclock_bench(
+            scale=SMALL, repeats=2, smoke=True, out_path=out,
+            baseline_path=tmp_path / "missing.json",
+        )
+        assert out.is_file()
+        on_disk = json.loads(out.read_text())
+        assert on_disk["experiment"] == "sim_core_wallclock"
+        assert on_disk["smoke"] is True
+        assert len(on_disk["cases"]) == len(ALGORITHMS)
+        for case in on_disk["cases"]:
+            assert case["simulated_time"] > 0
+            assert case["messages_sent"] > 0
+            assert len(case["wall_seconds"]) == 2
+            assert case["wall_median"] > 0
+        # Disk payload and return value agree on the sim results.
+        assert [c["simulated_time"] for c in on_disk["cases"]] == [
+            c["simulated_time"] for c in payload["cases"]
+        ]
+
+    def test_baseline_record_then_compare(self, tmp_path):
+        """Recording a baseline and re-running must report bit-identical sim
+        times (deterministic engine) and a finite speedup."""
+        baseline = tmp_path / "baseline.json"
+        wallclock_bench(
+            scale=SMALL, repeats=1, smoke=True, out_path=None,
+            baseline_path=baseline, record_baseline=True,
+        )
+        assert baseline.is_file()
+        payload = wallclock_bench(
+            scale=SMALL, repeats=1, smoke=True, out_path=None,
+            baseline_path=baseline,
+        )
+        check = payload["baseline"]
+        assert check["sim_time_identical"] is True
+        assert check["checked_cases"] == len(ALGORITHMS)
+        assert check["speedup_total"] > 0
+
+    def test_divergent_baseline_rejected(self, tmp_path):
+        """A sim-time mismatch against the baseline must fail loudly — the
+        harness asserts before/after equivalence, it does not just report."""
+        baseline = tmp_path / "baseline.json"
+        wallclock_bench(
+            scale=SMALL, repeats=1, smoke=True, out_path=None,
+            baseline_path=baseline, record_baseline=True,
+        )
+        recorded = json.loads(baseline.read_text())
+        recorded["cases"][0]["simulated_time"] *= 2.0
+        baseline.write_text(json.dumps(recorded))
+        with pytest.raises(RuntimeError, match="diverged from the baseline"):
+            wallclock_bench(
+                scale=SMALL, repeats=1, smoke=True, out_path=None,
+                baseline_path=baseline,
+            )
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            wallclock_bench(scale=SMALL, repeats=0, smoke=True, out_path=None)
+
+
+class TestCli:
+    def test_bench_wallclock_smoke(self, tmp_path, capsys):
+        """The tier-1 wallclock smoke invocation: must run in seconds and
+        emit the report + table."""
+        out = tmp_path / "BENCH_sim_core.json"
+        assert main([
+            "bench", "--wallclock", "--smoke", "--scale", "small",
+            "--out", str(out),
+        ]) == 0
+        assert out.is_file()
+        assert "sim-core wallclock" in capsys.readouterr().out
+
+    def test_bench_without_figure_or_wallclock_errors(self, capsys):
+        assert main(["bench"]) == 2
+        assert "figure name is required" in capsys.readouterr().err

@@ -101,6 +101,27 @@ class TestVerifyAllgather:
         with pytest.raises(AssertionError, match="wrong payload"):
             verify_allgather(topo, run)
 
+    def test_accepts_custom_payload_run(self, small_machine):
+        """Regression: verification used to assert ``payload == src`` even
+        when the run carried custom payloads, rejecting correct runs."""
+        topo = DistGraphTopology(small_machine.spec.n_ranks, {0: [1], 2: [1]})
+        payloads = [f"data-{r}" for r in range(topo.n)]
+        run = run_allgather("naive", topo, small_machine, 64, payloads=payloads)
+        verify_allgather(topo, run, expected_payloads=payloads)  # should not raise
+
+    def test_custom_payload_corruption_still_detected(self, small_machine):
+        topo = DistGraphTopology(small_machine.spec.n_ranks, {0: [1]})
+        payloads = [f"data-{r}" for r in range(topo.n)]
+        run = run_allgather("naive", topo, small_machine, 64, payloads=payloads)
+        run.results[1][0] = "data-corrupt"
+        with pytest.raises(AssertionError, match="expected 'data-0'"):
+            verify_allgather(topo, run, expected_payloads=payloads)
+
+    def test_wrong_expected_payload_count_rejected(self, small_machine, small_topology):
+        run = run_allgather("naive", small_topology, small_machine, 64)
+        with pytest.raises(ValueError, match="expected_payloads has"):
+            verify_allgather(small_topology, run, expected_payloads=[1, 2])
+
 
 class TestDegenerateTopologies:
     @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving"])

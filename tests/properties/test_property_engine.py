@@ -95,6 +95,33 @@ def test_exchange_is_deterministic(nodes, rps, seed):
     assert run_once() == run_once()
 
 
+@settings(deadline=None, max_examples=10)
+@given(
+    st.sampled_from(["naive", "common_neighbor", "distance_halving"]),
+    st.integers(2, 4),
+    st.floats(0.1, 0.6),
+    st.integers(0, 1 << 16),
+    st.integers(0, 2**31 - 1),
+)
+def test_tracing_never_perturbs_the_simulation(algorithm, nodes, density, size, seed):
+    """``trace=True`` only observes: simulated time, message count, byte
+    count and per-rank finish times must be bit-identical to an untraced
+    run of the same collective."""
+    from repro.collectives.runner import run_allgather
+    from repro.topology import erdos_renyi_topology
+
+    machine = make_machine(nodes, 2)
+    topology = erdos_renyi_topology(machine.spec.n_ranks, density, seed=seed)
+    plain = run_allgather(algorithm, topology, machine, size)
+    traced = run_allgather(algorithm, topology, machine, size, trace=True)
+    assert traced.simulated_time == plain.simulated_time
+    assert traced.messages_sent == plain.messages_sent
+    assert traced.bytes_sent == plain.bytes_sent
+    assert traced.finish_times == plain.finish_times
+    assert traced.trace is not None
+    assert traced.trace.total_messages == traced.messages_sent
+
+
 @settings(deadline=None, max_examples=15)
 @given(st.integers(2, 12), st.integers(1, 20), st.integers(1, 1 << 16))
 def test_port_serialization_lower_bound(n_senders, msgs_each, size):

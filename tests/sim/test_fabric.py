@@ -105,3 +105,32 @@ class TestUtilization:
         util = fabric.utilization(horizon=1.0)
         assert set(util) == {"send_ports", "recv_ports", "nic_tx", "nic_rx", "links"}
         assert util["send_ports"] and util["links"]
+
+    def test_cut_through_extension_counts_as_busy_time(self, machine):
+        """Regression: a stage outrun by upstream streaming stays occupied
+        until the pipeline drains past it.  The extension used to push
+        ``next_free`` without crediting ``busy_time``, so NIC/link
+        utilization under-reported whenever the endpoint port (higher
+        alpha) was the slow stage."""
+        params = machine.params
+        rpn = machine.spec.ranks_per_node
+        src, dst = 0, rpn  # inter-node, same group: port -> NICs -> port
+        cost = params.cost(LinkClass.INTER_NODE)
+        nbytes = 1 << 20
+        dur = nbytes / cost.beta
+        port_dur = cost.alpha + dur
+        nic_dur = params.nic_message_overhead + dur
+        # The scenario only exercises the bug if the NIC stage is faster
+        # than the upstream port stage.
+        assert nic_dur < port_dur
+
+        fabric = Fabric(machine)
+        fabric.transmit(src, dst, nbytes, post_time=0.0)
+        nic = fabric._nic_tx.get(machine.spec.node_of(src))
+        # Single message from t=0: the TX NIC starts with the send port and
+        # cannot release before the port stops streaming into it.
+        assert nic.busy_time == pytest.approx(port_dur)
+        assert nic.next_free == pytest.approx(nic.busy_time)
+        util = fabric.utilization(horizon=port_dur)
+        (frac,) = util["nic_tx"].values()
+        assert frac == pytest.approx(1.0)
