@@ -1,0 +1,235 @@
+"""Per-algorithm resilience study: slowdown under injected faults.
+
+The paper's central claim — Distance Halving wins because it sends *fewer,
+better-placed* messages — implies a robustness corollary: under link
+jitter, stragglers, and message loss it should degrade more gracefully
+than the naive point-to-point algorithm.  This harness tests exactly that:
+every allgather algorithm runs over the same topology grid under each
+named fault profile (:func:`repro.sim.faults.resilience_profiles`), and
+the report gives slowdown-versus-clean per (algorithm, profile) cell.
+
+Correctness is asserted, not assumed: every completed run is checked with
+:func:`~repro.collectives.runner.verify_allgather` (fallback runs too —
+graceful degradation must still deliver every block), and a run that
+cannot complete (watchdog or deadlock) is *recorded* as a failure row
+rather than crashing the sweep — failing loudly is itself a resilience
+outcome worth reporting.
+
+Determinism: fault randomness is seeded per profile, so two consecutive
+invocations produce identical JSON except for the wall-clock fields
+(``timestamp``, ``wall_*``).
+
+Output is written to ``BENCH_resilience.json`` (override with
+``out_path``).  Run via ``python -m repro bench --resilience [--smoke]``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.bench.config import BenchScale, bench_machine, get_scale
+from repro.bench.reporting import format_table, geometric_mean
+from repro.collectives.runner import run_allgather, verify_allgather
+from repro.sim.engine import DeadlockError, SimTimeoutError
+from repro.sim.faults import PROFILE_NAMES, resilience_profiles
+from repro.topology.random_graphs import erdos_renyi_topology
+from repro.utils.sizes import format_size, parse_size
+
+#: All allgather algorithms of the study, in report order.
+ALGORITHMS = ("naive", "common_neighbor", "distance_halving")
+#: Topology seed — matches the wallclock harness / Fig. 5 driver.
+FIG5_SEED = 23
+#: Fixed Common Neighbor K (same pin as the wallclock harness).
+CN_K = 4
+#: Fault-plan seed for the whole study (per-profile plans share it).
+FAULT_SEED = 7
+#: Grid for the full (non-smoke) study.
+FULL_DENSITIES = (0.1, 0.3)
+FULL_SIZES = ("1KB", "64KB")
+#: Simulated-time watchdog: generous vs the microsecond-scale runs, so a
+#: pathological plan fails loudly instead of grinding the sweep.
+MAX_SIM_TIME = 5.0
+#: Event watchdog: no profile should need more than ~40 events/message.
+MAX_EVENTS_PER_MESSAGE = 200
+
+
+@dataclass(frozen=True)
+class ResilienceCase:
+    """One (algorithm, density, size, profile) cell of the study."""
+
+    algorithm: str
+    ranks: int
+    ranks_per_socket: int
+    density: float
+    msg_bytes: int
+    profile: str
+
+    def label(self) -> str:
+        return (
+            f"{self.algorithm} n={self.ranks} d={self.density} "
+            f"m={format_size(self.msg_bytes)} [{self.profile}]"
+        )
+
+
+def build_grid(scale: BenchScale, smoke: bool = False) -> list[tuple[int, float, int]]:
+    """(ranks, density, msg_bytes) cells; smoke shrinks to one tiny cell."""
+    if smoke:
+        ranks = 4 * scale.ranks_per_socket  # two nodes x two sockets
+        return [(ranks, 0.3, parse_size("1KB"))]
+    return [
+        (scale.ranks, d, parse_size(s))
+        for d in FULL_DENSITIES
+        for s in FULL_SIZES
+    ]
+
+
+def _run_cell(
+    case: ResilienceCase, plan, clean_time: float | None
+) -> dict[str, Any]:
+    """Run one cell under one profile; never raises for sim-level failures."""
+    machine = bench_machine(case.ranks, case.ranks_per_socket)
+    topology = erdos_renyi_topology(case.ranks, case.density, seed=FIG5_SEED)
+    kwargs = {"k": CN_K} if case.algorithm == "common_neighbor" else {}
+    record: dict[str, Any] = {
+        "algorithm": case.algorithm,
+        "ranks": case.ranks,
+        "density": case.density,
+        "msg_bytes": case.msg_bytes,
+        "profile": case.profile,
+    }
+    try:
+        run = run_allgather(
+            case.algorithm,
+            topology,
+            machine,
+            case.msg_bytes,
+            fault_plan=plan,
+            fallback="naive" if plan is not None else None,
+            max_sim_time=MAX_SIM_TIME,
+            max_events=MAX_EVENTS_PER_MESSAGE * case.ranks * case.ranks,
+            **kwargs,
+        )
+        verify_allgather(topology, run)
+    except SimTimeoutError as exc:
+        record.update(status="timeout", error=str(exc)[:300])
+        return record
+    except DeadlockError as exc:
+        record.update(status="deadlock", error=str(exc)[:300])
+        return record
+    record.update(
+        status="completed",
+        simulated_time=run.simulated_time,
+        messages_sent=run.messages_sent,
+        wall_time=run.wall_time,
+        fallback_used=run.fallback_used,
+        executed_algorithm=run.algorithm,
+        fault_stats=run.fault_stats,
+    )
+    if clean_time is not None and clean_time > 0:
+        record["slowdown_vs_clean"] = run.simulated_time / clean_time
+    return record
+
+
+def resilience_bench(
+    scale: BenchScale | None = None,
+    smoke: bool = False,
+    out_path: str | Path | None = "BENCH_resilience.json",
+    fault_seed: int = FAULT_SEED,
+    verbose: bool = False,
+) -> dict[str, Any]:
+    """Run the resilience study; returns (and writes) the report payload."""
+    scale = scale or get_scale()
+    grid = build_grid(scale, smoke=smoke)
+
+    cases: list[dict[str, Any]] = []
+    #: profile -> algorithm -> list of slowdowns (completed cells only)
+    slowdowns: dict[str, dict[str, list[float]]] = {
+        p: {a: [] for a in ALGORITHMS} for p in PROFILE_NAMES if p != "clean"
+    }
+    wall_start = time.perf_counter()
+    for ranks, density, msg_bytes in grid:
+        profiles = resilience_profiles(ranks, seed=fault_seed)
+        for algorithm in ALGORITHMS:
+            clean_case = ResilienceCase(
+                algorithm, ranks, scale.ranks_per_socket, density, msg_bytes, "clean"
+            )
+            clean = _run_cell(clean_case, None, None)
+            cases.append(clean)
+            clean_time = clean.get("simulated_time")
+            if verbose:
+                _print_cell(clean_case, clean)
+            for profile in PROFILE_NAMES:
+                if profile == "clean":
+                    continue
+                case = ResilienceCase(
+                    algorithm, ranks, scale.ranks_per_socket, density,
+                    msg_bytes, profile,
+                )
+                record = _run_cell(case, profiles[profile], clean_time)
+                cases.append(record)
+                if "slowdown_vs_clean" in record:
+                    slowdowns[profile][algorithm].append(record["slowdown_vs_clean"])
+                if verbose:
+                    _print_cell(case, record)
+
+    summary = {
+        profile: {
+            algorithm: (geometric_mean(vals) if vals else None)
+            for algorithm, vals in per_alg.items()
+        }
+        for profile, per_alg in slowdowns.items()
+    }
+    payload: dict[str, Any] = {
+        "experiment": "resilience",
+        "scale": scale.name,
+        "smoke": smoke,
+        "topology_seed": FIG5_SEED,
+        "fault_seed": fault_seed,
+        "cn_k": CN_K,
+        "profiles": sorted(p for p in PROFILE_NAMES if p != "clean"),
+        "algorithms": list(ALGORITHMS),
+        "slowdown_geomean": summary,
+        "cases": cases,
+        # Wall-clock fields (excluded from the determinism contract).
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "wall_total": time.perf_counter() - wall_start,
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(payload, indent=2))
+
+    if verbose:
+        rows = [
+            (profile,
+             *(f"{summary[profile][a]:.2f}x" if summary[profile][a] else "-"
+               for a in ALGORITHMS))
+            for profile in sorted(summary)
+        ]
+        print()
+        print(format_table(
+            ["profile", *ALGORITHMS],
+            rows,
+            title=(
+                "resilience: slowdown vs clean, geomean "
+                f"({scale.name}{', smoke' if smoke else ''})"
+            ),
+        ))
+        if out_path is not None:
+            print(f"report -> {out_path}")
+    return payload
+
+
+def _print_cell(case: ResilienceCase, record: dict[str, Any]) -> None:
+    if record["status"] != "completed":
+        print(f"  {case.label():<56} {record['status'].upper()}")
+        return
+    slow = record.get("slowdown_vs_clean")
+    extra = f"  x{slow:.2f} vs clean" if slow is not None else ""
+    fb = "  (fallback->naive)" if record["fallback_used"] else ""
+    print(
+        f"  {case.label():<56} sim={record['simulated_time'] * 1e6:9.1f} us"
+        f"{extra}{fb}"
+    )

@@ -15,7 +15,13 @@ Commands
 ``spmm``
     Run the SpMM kernel for one or all Table II matrices.
 ``bench``
-    Regenerate one paper figure (or ``all``) at the selected scale.
+    Regenerate one paper figure (or ``all``) at the selected scale; with
+    ``--wallclock`` run the sim-core harness, with ``--resilience`` the
+    per-algorithm fault-injection study.
+
+Simulation failures (``DeadlockError``, ``SimTimeoutError``) exit non-zero
+with a one-line diagnostic instead of a traceback; ``--max-sim-time`` /
+``--max-events`` arm the engine watchdog.
 """
 
 from __future__ import annotations
@@ -26,6 +32,8 @@ from typing import Sequence
 
 from repro.bench.config import get_scale
 from repro.bench.reporting import format_table
+from repro.sim.engine import DeadlockError, SimTimeoutError
+from repro.sim.faults import PROFILE_NAMES
 from repro.utils.sizes import format_size, parse_size
 
 #: Figure name -> driver attribute in repro.bench.figures.
@@ -67,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--seed", type=int, default=0)
     cmp_p.add_argument("--collective", choices=("allgather", "alltoall"),
                        default="allgather")
+    cmp_p.add_argument("--faults", choices=PROFILE_NAMES, default=None,
+                       help="inject a named fault profile (allgather only); "
+                            "degraded setups fall back to naive")
+    cmp_p.add_argument("--max-sim-time", type=float, default=None,
+                       help="watchdog: abort once simulated time exceeds this "
+                            "many seconds")
+    cmp_p.add_argument("--max-events", type=int, default=None,
+                       help="watchdog: abort after this many engine events")
 
     model_p = sub.add_parser("model", help="performance-model grid (Fig. 2)")
     _machine_args(model_p)
@@ -92,12 +108,17 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None)
     bench_p.add_argument("--wallclock", action="store_true",
                          help="run the sim-core wall-clock harness instead of a figure")
+    bench_p.add_argument("--resilience", action="store_true",
+                         help="run the fault-injection resilience study instead "
+                              "of a figure")
     bench_p.add_argument("--smoke", action="store_true",
-                         help="tiny wallclock grid (for CI); implies --repeats 1")
+                         help="tiny wallclock/resilience grid (for CI); implies "
+                              "--repeats 1")
     bench_p.add_argument("--repeats", type=int, default=3,
                          help="wallclock median-of-k repeats (default 3)")
-    bench_p.add_argument("--out", default="BENCH_sim_core.json",
-                         help="wallclock report path (default BENCH_sim_core.json)")
+    bench_p.add_argument("--out", default=None,
+                         help="report path (default BENCH_sim_core.json for "
+                              "--wallclock, BENCH_resilience.json for --resilience)")
     bench_p.add_argument("--record-baseline", action="store_true",
                          help="record wallclock measurements as the new baseline")
     return parser
@@ -166,13 +187,26 @@ def cmd_compare(args) -> int:
     baseline = None
     if args.collective == "allgather":
         from repro.collectives import run_allgather, verify_allgather
+        from repro.sim.faults import get_profile
 
+        fault_plan = (
+            get_profile(args.faults, n, seed=args.seed) if args.faults else None
+        )
+        if fault_plan is not None:
+            print(f"faults  : {args.faults} ({fault_plan.describe()})\n")
         for name in ("naive", "common_neighbor", "distance_halving"):
-            run = run_allgather(name, topology, machine, args.msg)
+            run = run_allgather(
+                name, topology, machine, args.msg,
+                fault_plan=fault_plan,
+                fallback="naive" if fault_plan is not None else None,
+                max_sim_time=args.max_sim_time,
+                max_events=args.max_events,
+            )
             verify_allgather(topology, run)
             baseline = baseline or run.simulated_time
+            label = name if not run.fallback_used else f"{name} (->{run.algorithm})"
             rows.append(
-                (name, f"{run.simulated_time * 1e6:.1f} us",
+                (label, f"{run.simulated_time * 1e6:.1f} us",
                  f"{baseline / run.simulated_time:.2f}x", run.messages_sent)
             )
     else:
@@ -259,6 +293,10 @@ def cmd_spmm(args) -> int:
 
 def cmd_bench(args) -> int:
     scale = get_scale(args.scale)
+    if args.wallclock and args.resilience:
+        print("error: --wallclock and --resilience are mutually exclusive",
+              file=sys.stderr)
+        return 2
     if args.wallclock:
         from repro.bench.wallclock import wallclock_bench
 
@@ -270,14 +308,24 @@ def cmd_bench(args) -> int:
             scale=scale,
             repeats=1 if args.smoke else args.repeats,
             smoke=args.smoke,
-            out_path=args.out,
+            out_path=args.out or "BENCH_sim_core.json",
             record_baseline=args.record_baseline,
             verbose=True,
         )
         return 0
+    if args.resilience:
+        from repro.bench.resilience import resilience_bench
+
+        resilience_bench(
+            scale=scale,
+            smoke=args.smoke,
+            out_path=args.out or "BENCH_resilience.json",
+            verbose=True,
+        )
+        return 0
     if args.figure is None:
-        print("error: a figure name is required unless --wallclock is given",
-              file=sys.stderr)
+        print("error: a figure name is required unless --wallclock or "
+              "--resilience is given", file=sys.stderr)
         return 2
 
     import repro.bench.figures as figures
@@ -302,7 +350,15 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (DeadlockError, SimTimeoutError) as exc:
+        # Simulation-level failures are expected outcomes under fault plans
+        # and watchdog budgets: one line on stderr, non-zero exit, no
+        # traceback.
+        kind = type(exc).__name__
+        print(f"error: {kind}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

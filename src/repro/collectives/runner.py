@@ -20,6 +20,7 @@ from repro.collectives.base import (
     get_algorithm,
 )
 from repro.sim.engine import Engine
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.tracing import TraceCollector
 from repro.topology.graph import DistGraphTopology
 from repro.utils.sizes import parse_size
@@ -42,6 +43,17 @@ class AllgatherRun:
     block_sizes: list[int] | None = field(repr=False, default=None)
     #: busy fractions per resource family over the run (trace=True only)
     utilization: dict | None = field(repr=False, default=None)
+    #: fault-injection counters {drops, retransmissions, messages_lost}
+    #: (fault_plan runs only)
+    fault_stats: dict[str, int] | None = None
+    #: algorithm originally requested when graceful degradation swapped it
+    requested_algorithm: str | None = None
+
+    @property
+    def fallback_used(self) -> bool:
+        """True when the requested algorithm's setup could not complete
+        under the fault plan and the run degraded to ``fallback``."""
+        return self.requested_algorithm is not None
 
 
 def run_allgather(
@@ -53,6 +65,10 @@ def run_allgather(
     trace: bool = False,
     payloads: list[Any] | None = None,
     noise_seed: int = 0,
+    fault_plan: FaultPlan | None = None,
+    fallback: str | None = None,
+    max_sim_time: float | None = None,
+    max_events: int | None = None,
     **algorithm_kwargs,
 ) -> AllgatherRun:
     """Simulate one neighborhood allgather and return its latency and data.
@@ -74,6 +90,20 @@ def run_allgather(
     payloads:
         Optional per-rank payload objects; defaults to the rank id, which
         makes delivered-block identity checkable by :func:`verify_allgather`.
+    fault_plan:
+        A seeded :class:`~repro.sim.faults.FaultPlan` to inject link
+        degradation, stragglers, and message loss (with timeout/backoff
+        retransmission) into the run.  Counters land in
+        :attr:`AllgatherRun.fault_stats`.
+    fallback:
+        Graceful degradation: when the requested algorithm's *setup*
+        negotiation cannot complete under ``fault_plan`` (see
+        :meth:`~repro.sim.faults.FaultPlan.setup_survivable`), run this
+        registered algorithm instead; the original name is recorded in
+        :attr:`AllgatherRun.requested_algorithm`.
+    max_sim_time, max_events:
+        Engine watchdog budgets; a run exceeding either raises
+        :class:`~repro.sim.engine.SimTimeoutError`.
     """
     if isinstance(algorithm, str):
         algorithm = get_algorithm(algorithm, **algorithm_kwargs)
@@ -92,6 +122,22 @@ def run_allgather(
         msg_size = parse_size(msg_size)
     setup_stats = algorithm.setup(topology, machine)
 
+    requested_algorithm: str | None = None
+    if fault_plan is not None and fallback is not None and fallback != algorithm.name:
+        if not fault_plan.setup_survivable(setup_stats.protocol_messages):
+            # Graceful degradation: the requested pattern's setup
+            # negotiation cannot converge under the plan's loss, so swap in
+            # the fallback algorithm (naive needs no control messages and
+            # always survives).
+            requested_algorithm = algorithm.name
+            algorithm = get_algorithm(fallback)
+            setup_stats = algorithm.setup(topology, machine)
+            if not fault_plan.setup_survivable(setup_stats.protocol_messages):
+                raise RuntimeError(
+                    f"fallback algorithm {fallback!r} setup also cannot "
+                    f"complete under the fault plan ({fault_plan.describe()})"
+                )
+
     if payloads is None:
         payloads = list(range(topology.n))
     elif len(payloads) != topology.n:
@@ -106,8 +152,15 @@ def run_allgather(
         block_sizes=block_sizes,
     )
     collector = TraceCollector(keep_records=trace) if trace else None
+    injector = FaultInjector(fault_plan) if fault_plan is not None else None
     engine = Engine(
-        n_ranks=topology.n, machine=machine, trace=collector, noise_seed=noise_seed
+        n_ranks=topology.n,
+        machine=machine,
+        trace=collector,
+        noise_seed=noise_seed,
+        faults=injector,
+        max_sim_time=max_sim_time,
+        max_events=max_events,
     )
 
     wall_start = time.perf_counter()
@@ -129,6 +182,8 @@ def run_allgather(
         wall_time=wall,
         block_sizes=block_sizes,
         utilization=utilization,
+        fault_stats=injector.stats() if injector is not None else None,
+        requested_algorithm=requested_algorithm,
     )
 
 

@@ -9,11 +9,26 @@ per-node NICs, shared global links) so congestion emerges naturally.
 
 The semantics intentionally mirror the paper's modelling assumptions:
 single-port ranks, eager delivery, and serialized node injection.
+
+Faults: a seeded :class:`FaultPlan` (see :mod:`repro.sim.faults`) injects
+link degradation, stragglers, and message loss with timeout/backoff
+retransmission; watchdog budgets (``max_sim_time``/``max_events``) raise
+:class:`SimTimeoutError` when a perturbed run cannot complete.
 """
 
 from repro.sim.communicator import ANY_SOURCE, SimCommunicator
-from repro.sim.engine import DeadlockError, Engine
+from repro.sim.engine import DeadlockError, Engine, SimTimeoutError
 from repro.sim.fabric import Fabric, MessageTiming
+from repro.sim.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    MessageLoss,
+    RetryPolicy,
+    Straggler,
+    get_profile,
+    resilience_profiles,
+)
 from repro.sim.request import Request
 from repro.sim.timeline import chrome_trace, phase_breakdown, save_chrome_trace
 from repro.sim.tracing import MessageRecord, TraceCollector
@@ -26,8 +41,17 @@ __all__ = [
     "SimCommunicator",
     "Engine",
     "DeadlockError",
+    "SimTimeoutError",
     "Fabric",
     "MessageTiming",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFault",
+    "MessageLoss",
+    "RetryPolicy",
+    "Straggler",
+    "get_profile",
+    "resilience_profiles",
     "Request",
     "MessageRecord",
     "TraceCollector",

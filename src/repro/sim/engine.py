@@ -27,6 +27,7 @@ from typing import Callable, Generator, Iterable
 from repro.cluster.machine import Machine
 from repro.cluster.spec import LinkClass
 from repro.sim.fabric import Fabric
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.request import Request, RequestKind
 from repro.sim.tracing import TraceCollector
 
@@ -34,9 +35,20 @@ from repro.sim.tracing import TraceCollector
 _SEND = RequestKind.SEND
 _RECV = RequestKind.RECV
 
+_INF = math.inf
+
 
 class DeadlockError(RuntimeError):
     """Raised when the event heap empties while processes are still blocked."""
+
+
+class SimTimeoutError(RuntimeError):
+    """Raised when a watchdog budget (``max_sim_time``/``max_events``) trips.
+
+    Carries the same lazily-built blocked-process diagnostics as
+    :class:`DeadlockError`, so a lossy or perturbed run that can never
+    complete fails loudly with actionable state instead of spinning.
+    """
 
 
 class _WaitAll:
@@ -104,6 +116,9 @@ class Engine:
         machine: Machine,
         trace: TraceCollector | None = None,
         noise_seed: int = 0,
+        faults: FaultPlan | FaultInjector | None = None,
+        max_sim_time: float | None = None,
+        max_events: int | None = None,
     ):
         if n_ranks <= 0:
             raise ValueError(f"n_ranks must be > 0, got {n_ranks}")
@@ -111,10 +126,30 @@ class Engine:
             raise ValueError(
                 f"n_ranks={n_ranks} exceeds machine capacity {machine.spec.n_ranks}"
             )
+        if max_sim_time is not None and max_sim_time <= 0:
+            raise ValueError(f"max_sim_time must be > 0, got {max_sim_time}")
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be > 0, got {max_events}")
         self.n_ranks = n_ranks
         self.machine = machine
-        self.fabric = Fabric(machine, noise_seed=noise_seed)
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        #: Fault injector for this run (None = pristine); exposes the
+        #: drop/retransmission/loss counters after the run.
+        self.faults = faults
+        self.fabric = Fabric(machine, noise_seed=noise_seed, faults=faults)
         self.trace = trace
+        # Watchdog budgets; checked in run() only when set (the pristine
+        # event loop stays branch-free).
+        self._max_sim_time = max_sim_time
+        self._max_events = max_events
+        self.events_processed = 0
+        #: Messages whose retry budget ran out (never delivered).
+        self.messages_lost = 0
+        # Per-rank compute scaling (stragglers); None keeps _resume lean.
+        self._compute_scale: list[float] | None = None
+        if faults is not None and faults.has_stragglers:
+            self._compute_scale = [faults.compute_factor(r) for r in range(n_ranks)]
 
         self.now = 0.0
         self.rank_now = [0.0] * n_ranks
@@ -164,7 +199,9 @@ class Engine:
             self._finished[rank] = 0.0
             return
         self._programs[rank] = gen
-        self._schedule(0.0, rank)
+        # Straggler launch delay: the rank's first event fires late.
+        start = 0.0 if self.faults is None else self.faults.startup_delay(rank)
+        self._schedule(start, rank)
 
     def spawn_all(self, program_factory: Callable[[int], Callable]) -> None:
         """Spawn ``program_factory(rank)`` for every rank."""
@@ -177,20 +214,61 @@ class Engine:
         heapq.heappush(self._heap, (time, self._seq, rank))
 
     def run(self) -> float:
-        """Run to completion; returns the makespan (max finish time)."""
+        """Run to completion; returns the makespan (max finish time).
+
+        With a watchdog budget set, the loop checks each event against
+        ``max_sim_time`` (event timestamp) and ``max_events`` (events
+        processed) and raises :class:`SimTimeoutError` on the first breach;
+        without budgets the original branch-free loop runs.
+        """
         heap = self._heap
         pop = heapq.heappop
         resume = self._resume
-        while heap:
-            time, _, rank = pop(heap)
-            self.now = time
-            resume(rank, time)
+        max_time = self._max_sim_time
+        max_events = self._max_events
+        if max_time is None and max_events is None:
+            while heap:
+                time, _, rank = pop(heap)
+                self.now = time
+                resume(rank, time)
+        else:
+            if max_time is None:
+                max_time = math.inf
+            events = self.events_processed
+            while heap:
+                time, _, rank = pop(heap)
+                if time > max_time:
+                    self.events_processed = events
+                    raise SimTimeoutError(
+                        f"simulated-time budget exceeded: next event at "
+                        f"{time:.6e}s > max_sim_time={max_time:.6e}s; "
+                        f"processes: {self._blocked_detail()}"
+                    )
+                events += 1
+                if max_events is not None and events > max_events:
+                    self.events_processed = events - 1
+                    raise SimTimeoutError(
+                        f"event budget exceeded: processed {events - 1} events "
+                        f"(max_events={max_events}); "
+                        f"processes: {self._blocked_detail()}"
+                    )
+                self.now = time
+                resume(rank, time)
+            self.events_processed = events
         if self._programs:
-            detail = ", ".join(
-                f"rank {r} ({self._blocked_reason(r)})" for r in sorted(self._programs)
+            raise DeadlockError(
+                f"simulation deadlocked; blocked processes: {self._blocked_detail()}"
             )
-            raise DeadlockError(f"simulation deadlocked; blocked processes: {detail}")
         return self.makespan()
+
+    def _blocked_detail(self) -> str:
+        """Lazily-formatted state of every unfinished process (error paths
+        only — never built on the hot path)."""
+        if not self._programs:
+            return "none"
+        return ", ".join(
+            f"rank {r} ({self._blocked_reason(r)})" for r in sorted(self._programs)
+        )
 
     def _blocked_reason(self, rank: int) -> str:
         state = self._blocked.get(rank)
@@ -229,7 +307,10 @@ class Engine:
             self._begin_wait(rank, condition.requests)
         elif cls is _Compute:
             self._blocked[rank] = "compute"
-            self._schedule(rank_now[rank] + condition.duration, rank)
+            duration = condition.duration
+            if self._compute_scale is not None:
+                duration *= self._compute_scale[rank]
+            self._schedule(rank_now[rank] + duration, rank)
         elif cls is _Barrier:
             self._enter_barrier(rank)
         else:
@@ -239,7 +320,10 @@ class Engine:
         # Slow path: accept subclasses of the condition types, reject junk.
         if isinstance(condition, _Compute):
             self._blocked[rank] = "compute"
-            self._schedule(self.rank_now[rank] + condition.duration, rank)
+            duration = condition.duration
+            if self._compute_scale is not None:
+                duration *= self._compute_scale[rank]
+            self._schedule(self.rank_now[rank] + duration, rank)
         elif isinstance(condition, _WaitAll):
             self._begin_wait(rank, condition.requests)
         elif isinstance(condition, _Barrier):
@@ -331,11 +415,21 @@ class Engine:
         timing = self.fabric.transmit(src, dst, nbytes, post_time)
         req = Request(_SEND, src, dst, tag, post_time)
         req.completion_time = timing.send_complete  # fresh request: no guard needed
+        req.attempts = timing.attempts
         self.messages_sent += 1
         self.bytes_sent += nbytes
         if self.trace is not None:
             self.trace.record(src, dst, nbytes, tag, timing, post_time)
-        self._deliver(src, dst, tag, nbytes, payload, timing.arrival)
+        if timing.arrival != _INF:
+            self._deliver(src, dst, tag, nbytes, payload, timing.arrival)
+        else:
+            # Retry budget exhausted: the message is permanently lost.  The
+            # sender's request still completes (it gave up after its last
+            # timeout); the receiver side never sees the message, so the
+            # run ends in DeadlockError — or SimTimeoutError if a watchdog
+            # budget trips first.
+            req.lost = True
+            self.messages_lost += 1
         return req
 
     def post_recv(self, dst: int, src: int | None, tag: int) -> Request:

@@ -23,8 +23,10 @@ paper-scale sweeps (millions of messages) feasible in pure Python.
 
 from __future__ import annotations
 
+import math
 import weakref
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -32,14 +34,27 @@ from repro.cluster.machine import Machine
 from repro.cluster.spec import LinkClass
 from repro.sim.resources import ResourcePool, SerialResource
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.faults import FaultInjector
+
 
 @dataclass(slots=True)
 class MessageTiming:
-    """Timing of one message: when the sender's port frees, when data lands."""
+    """Timing of one message: when the sender's port frees, when data lands.
+
+    ``arrival`` is ``math.inf`` for a message permanently lost under a fault
+    plan (retry budget exhausted); ``attempts`` counts transmissions
+    including the successful (or final dropped) one.
+    """
 
     send_complete: float
     arrival: float
     link_class: LinkClass
+    attempts: int = 1
+
+    @property
+    def lost(self) -> bool:
+        return self.arrival == math.inf
 
 
 def _next_free(res: SerialResource) -> float:
@@ -115,13 +130,26 @@ class Fabric:
     ``noise_seed`` drives the optional latency jitter
     (:attr:`HockneyParameters.jitter`); with jitter 0 it is unused and the
     fabric is exactly deterministic.
+
+    ``faults`` installs a :class:`~repro.sim.faults.FaultInjector`: every
+    transmission is routed through :meth:`_transmit_faulty` (perturbed
+    costs, probabilistic drop, timeout/backoff retransmission) instead of
+    the pristine inline fast path.  With no injector the hot path is
+    exactly the PR-1 optimized sequence.
     """
 
-    def __init__(self, machine: Machine, noise_seed: int = 0) -> None:
+    def __init__(
+        self,
+        machine: Machine,
+        noise_seed: int = 0,
+        faults: "FaultInjector | None" = None,
+    ) -> None:
         self.machine = machine
         params = machine.params
         self._jitter = params.jitter
         self._noise = np.random.default_rng(noise_seed) if self._jitter > 0 else None
+        #: Fault injector (None = pristine fabric; the fast path is untouched).
+        self._faults = faults
         self._send_ports = ResourcePool()
         self._recv_ports = ResourcePool()
         self._nic_tx = ResourcePool()
@@ -231,6 +259,9 @@ class Fabric:
             plan = self._build_plan(src, dst, key)
             self._plans[key] = plan
 
+        if self._faults is not None:
+            return self._transmit_faulty(plan, src, dst, nbytes, post_time)
+
         alpha = plan.alpha
         hop_extra = plan.hop_extra
         if self._noise is not None:
@@ -330,6 +361,146 @@ class Fabric:
         pipeline_end = end
 
         return MessageTiming(send_complete, pipeline_end + hop_extra, plan.link_class)
+
+    # ----------------------------------------------------------------- faults
+    def _transmit_faulty(
+        self, plan: _StagePlan, src: int, dst: int, nbytes: int, post_time: float
+    ) -> MessageTiming:
+        """Fault-aware transmit: perturbed costs, drop + timeout/backoff retry.
+
+        Each attempt claims the full resource pipeline (a dropped message
+        still traveled — loss is detected at the endpoint via a missing
+        ack), so retransmission costs are charged in simulated time.  When
+        the retry budget runs out the message is lost: ``arrival`` is
+        ``inf`` and the engine never delivers it.
+        """
+        faults = self._faults
+        cls = plan.link_class
+        retry = faults.retry
+        attempt = 1
+        t = post_time
+        while True:
+            alpha, hop_extra, inv_beta, link_inv_beta = faults.perturb(
+                cls, t, plan.alpha, plan.hop_extra, plan.inv_beta, plan.link_inv_beta
+            )
+            if self._noise is not None:
+                noise = 1.0 + self._jitter * float(self._noise.random())
+                alpha *= noise
+                hop_extra *= noise
+            send_complete, pipeline_end = self._claim(
+                plan, src, dst, nbytes, t, alpha, inv_beta, link_inv_beta
+            )
+            if not faults.should_drop(cls, t):
+                if attempt > 1:
+                    faults.retransmissions += attempt - 1
+                return MessageTiming(
+                    send_complete, pipeline_end + hop_extra, cls, attempt
+                )
+            faults.drops += 1
+            if attempt > retry.max_retries:
+                faults.messages_lost += 1
+                return MessageTiming(send_complete, math.inf, cls, attempt)
+            t = send_complete + retry.delay_after(attempt)
+            attempt += 1
+
+    def _claim(
+        self,
+        plan: _StagePlan,
+        src: int,
+        dst: int,
+        nbytes: int,
+        post_time: float,
+        alpha: float,
+        inv_beta: float,
+        link_inv_beta: float,
+    ) -> tuple[float, float]:
+        """One pipeline claim pass with explicit (possibly perturbed) costs.
+
+        Mirror of :meth:`transmit`'s inline claim sequence — keep the two in
+        sync (the golden-grid no-op regression test pins their arithmetic
+        equivalence; ``transmit`` stays inlined because the pristine path is
+        the wall-clock hot path).
+        """
+        dur = nbytes * inv_beta
+        port_dur = alpha + dur
+
+        res = self._send_fast[src]
+        if res is None:
+            self._send_fast[src] = res = self._send_ports.get(src)
+        start = post_time if post_time > res.next_free else res.next_free
+        end = start + port_dur
+        res.next_free = end
+        res.busy_time += port_dur
+        res.claims += 1
+        send_complete = end
+        prev_start = start
+        pipeline_end = end
+
+        nic = plan.nic_tx
+        if nic is not None:
+            nic_dur = self._nic_overhead + dur
+            start = prev_start if prev_start > nic.next_free else nic.next_free
+            end = start + nic_dur
+            nic.busy_time += nic_dur
+            nic.claims += 1
+            if end < pipeline_end:
+                nic.busy_time += pipeline_end - end
+                end = pipeline_end
+            nic.next_free = end
+            prev_start = start
+            pipeline_end = end
+            groups = plan.link_groups
+            if groups is not None or plan.fixed_links:
+                link_dur = self._link_overhead + nbytes * link_inv_beta
+                if groups is None:
+                    lanes = plan.fixed_links
+                elif len(groups) == 1:
+                    group = groups[0]
+                    if len(group) == 2:
+                        a = group[0]
+                        b = group[1]
+                        lanes = ((a if a.next_free <= b.next_free else b),)
+                    else:
+                        lanes = (min(group, key=_next_free),)
+                else:
+                    lanes = [min(group, key=_next_free) for group in groups]
+                for res in lanes:
+                    start = prev_start if prev_start > res.next_free else res.next_free
+                    end = start + link_dur
+                    res.busy_time += link_dur
+                    res.claims += 1
+                    if end < pipeline_end:
+                        res.busy_time += pipeline_end - end
+                        end = pipeline_end
+                    res.next_free = end
+                    prev_start = start
+                    pipeline_end = end
+            nic = plan.nic_rx
+            start = prev_start if prev_start > nic.next_free else nic.next_free
+            end = start + nic_dur
+            nic.busy_time += nic_dur
+            nic.claims += 1
+            if end < pipeline_end:
+                nic.busy_time += pipeline_end - end
+                end = pipeline_end
+            nic.next_free = end
+            prev_start = start
+            pipeline_end = end
+
+        res = self._recv_fast[dst]
+        if res is None:
+            self._recv_fast[dst] = res = self._recv_ports.get(dst)
+        start = prev_start if prev_start > res.next_free else res.next_free
+        end = start + port_dur
+        res.busy_time += port_dur
+        res.claims += 1
+        if end < pipeline_end:
+            res.busy_time += pipeline_end - end
+            end = pipeline_end
+        res.next_free = end
+        pipeline_end = end
+
+        return send_complete, pipeline_end
 
     # -------------------------------------------------------------- reporting
     def utilization(self, horizon: float) -> dict[str, dict]:

@@ -30,6 +30,8 @@ class Request:
         "payload",
         "source",
         "nbytes",
+        "attempts",
+        "lost",
         "_waiter",
     )
 
@@ -43,6 +45,8 @@ class Request:
         self.payload: Any = None    #: delivered payload (recv only)
         self.source: int | None = None   #: actual source (recv only)
         self.nbytes: int | None = None   #: actual size (recv only)
+        self.attempts: int = 1      #: transmissions under a fault plan (send only)
+        self.lost: bool = False     #: send permanently lost (retry budget exhausted)
         self._waiter = None         #: WaitState currently blocked on this request
 
     @property

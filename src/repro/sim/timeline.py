@@ -49,7 +49,8 @@ def phase_breakdown(records: Iterable[MessageRecord]) -> dict[str, dict[str, flo
         bucket["messages"] += 1
         bucket["bytes"] += rec.nbytes
         bucket["start"] = min(bucket["start"], rec.post_time)
-        bucket["end"] = max(bucket["end"], rec.arrival)
+        if rec.arrival != float("inf"):  # lost messages never arrive
+            bucket["end"] = max(bucket["end"], rec.arrival)
     return {
         name: {
             "messages": int(b["messages"]),
@@ -89,7 +90,8 @@ def chrome_trace(
                 "args": {"bytes": rec.nbytes, "tag": rec.tag, "dst": rec.dst},
             }
         )
-        if flows:
+        if flows and rec.arrival != float("inf"):
+            # Lost messages (fault injection) never arrive: no flow arrow.
             events.append(
                 {
                     "name": "msg",

@@ -24,7 +24,8 @@ class MessageRecord:
     link_class: LinkClass
     post_time: float
     send_complete: float
-    arrival: float
+    arrival: float           #: ``inf`` for a message lost under a fault plan
+    attempts: int = 1        #: transmissions including retries (fault plans)
 
 
 class TraceCollector:
@@ -55,7 +56,8 @@ class TraceCollector:
         if self.keep_records and len(self.records) < self.max_records:
             self.records.append(
                 MessageRecord(src, dst, nbytes, tag, timing.link_class,
-                              post_time, timing.send_complete, timing.arrival)
+                              post_time, timing.send_complete, timing.arrival,
+                              timing.attempts)
             )
 
     # ---------------------------------------------------------------- queries

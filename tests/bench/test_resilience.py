@@ -1,0 +1,100 @@
+"""Tests for the fault-injection resilience study harness."""
+
+import json
+
+import pytest
+
+from repro.bench.config import get_scale
+from repro.bench.resilience import ALGORITHMS, build_grid, resilience_bench
+from repro.cli import main
+from repro.sim.faults import PROFILE_NAMES
+
+SMALL = get_scale("small")
+
+
+def _strip_wall(payload: dict) -> dict:
+    """Drop the wall-clock fields excluded from the determinism contract."""
+    payload = {k: v for k, v in payload.items() if k not in ("timestamp", "wall_total")}
+    payload["cases"] = [
+        {k: v for k, v in case.items() if k != "wall_time"}
+        for case in payload["cases"]
+    ]
+    return payload
+
+
+class TestGrid:
+    def test_smoke_grid_is_tiny(self):
+        grid = build_grid(SMALL, smoke=True)
+        assert len(grid) == 1
+        assert grid[0][0] == 4 * SMALL.ranks_per_socket
+
+    def test_full_grid_uses_scale_ranks(self):
+        grid = build_grid(SMALL, smoke=False)
+        assert all(ranks == SMALL.ranks for ranks, _, _ in grid)
+        assert len(grid) == 4  # 2 densities x 2 sizes
+
+
+class TestSmokeRun:
+    @pytest.fixture(scope="class")
+    def payload(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("resilience") / "BENCH_resilience.json"
+        payload = resilience_bench(scale=SMALL, smoke=True, out_path=out)
+        on_disk = json.loads(out.read_text())
+        assert _strip_wall(on_disk) == _strip_wall(payload)
+        return payload
+
+    def test_every_algorithm_and_profile_covered(self, payload):
+        cells = {(c["algorithm"], c["profile"]) for c in payload["cases"]}
+        assert cells == {
+            (a, p) for a in ALGORITHMS for p in PROFILE_NAMES
+        }
+
+    def test_all_cases_completed_and_report_slowdown(self, payload):
+        for case in payload["cases"]:
+            assert case["status"] == "completed", case
+            if case["profile"] != "clean":
+                assert case["slowdown_vs_clean"] > 0
+
+    def test_slowdown_geomean_for_all_algorithms(self, payload):
+        summary = payload["slowdown_geomean"]
+        assert len(summary) >= 3  # at least 3 fault profiles
+        for profile, per_alg in summary.items():
+            for algorithm in ALGORITHMS:
+                assert per_alg[algorithm] is not None, (profile, algorithm)
+
+    def test_faults_actually_hurt(self, payload):
+        """Perturbed profiles must cost simulated time (slowdown > 1)."""
+        for case in payload["cases"]:
+            if case["profile"] in ("jitter", "straggler", "lossy"):
+                assert case["slowdown_vs_clean"] > 1.0, case
+
+    def test_lossy_profile_retransmits(self, payload):
+        lossy = [c for c in payload["cases"] if c["profile"] == "lossy"]
+        assert any(c["fault_stats"]["retransmissions"] > 0 for c in lossy)
+        assert all(c["fault_stats"]["messages_lost"] == 0 for c in lossy)
+
+    def test_setup_loss_triggers_fallback_for_planned_algorithms(self, payload):
+        by_alg = {
+            c["algorithm"]: c for c in payload["cases"]
+            if c["profile"] == "setup_loss"
+        }
+        assert not by_alg["naive"]["fallback_used"]
+        assert by_alg["distance_halving"]["fallback_used"]
+        assert by_alg["distance_halving"]["executed_algorithm"] == "naive"
+
+    def test_two_runs_identical_modulo_wallclock(self, payload):
+        again = resilience_bench(scale=SMALL, smoke=True, out_path=None)
+        assert _strip_wall(again) == _strip_wall(payload)
+
+
+class TestCli:
+    def test_bench_resilience_smoke(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_resilience.json"
+        assert main(["bench", "--resilience", "--smoke", "--scale", "small",
+                     "--out", str(out)]) == 0
+        assert out.is_file()
+        assert "slowdown vs clean" in capsys.readouterr().out
+
+    def test_wallclock_and_resilience_mutually_exclusive(self, capsys):
+        assert main(["bench", "--wallclock", "--resilience"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err

@@ -80,3 +80,31 @@ class TestCommands:
         assert main(["bench", "fig2", "--scale", "small"]) == 0
         assert "Fig. 2" in capsys.readouterr().out
         assert (isolated_results / "fig2_model.json").exists()
+
+
+class TestFaults:
+    def test_compare_with_lossy_profile(self, capsys):
+        assert main(["compare", *SMALL, "--msg", "256", "--faults", "lossy"]) == 0
+        out = capsys.readouterr().out
+        assert "faults  : lossy" in out
+        assert "verified" in out
+
+    def test_compare_setup_loss_labels_fallback(self, capsys):
+        assert main(["compare", *SMALL, "--msg", "256", "--faults", "setup_loss"]) == 0
+        out = capsys.readouterr().out
+        assert "distance_halving (->naive)" in out
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--faults", "nope"])
+
+    def test_watchdog_exceeded_exits_one_without_traceback(self, capsys):
+        assert main(["compare", *SMALL, "--msg", "256", "--max-events", "10"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: SimTimeoutError:")
+        assert "Traceback" not in err
+
+    def test_generous_watchdog_budget_is_harmless(self, capsys):
+        assert main(["compare", *SMALL, "--msg", "256",
+                     "--max-sim-time", "10.0", "--max-events", "1000000"]) == 0
+        assert "verified" in capsys.readouterr().out
