@@ -12,7 +12,13 @@ Run:  python examples/quickstart.py [n_ranks] [density]
 
 import sys
 
-from repro import Machine, erdos_renyi_topology, run_allgather, verify_allgather
+from repro import (
+    Machine,
+    RunOptions,
+    erdos_renyi_topology,
+    run_allgather,
+    verify_allgather,
+)
 from repro.bench.reporting import format_table
 from repro.utils.sizes import format_size, parse_size
 
@@ -36,7 +42,8 @@ def main() -> None:
     for size in sizes:
         baseline = None
         for name in algorithms:
-            run = run_allgather(name, topology, machine, size, trace=True)
+            run = run_allgather(name, topology, machine, size,
+                                options=RunOptions(trace=True))
             verify_allgather(topology, run)  # raises if any block is wrong
             if name == "naive":
                 baseline = run.simulated_time

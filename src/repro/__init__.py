@@ -31,6 +31,9 @@ Subpackages
     The paper's analytic performance model (Eqs. 1-8).
 ``repro.spmm``
     Neighborhood-allgather SpMM kernel and Table II synthetic matrices.
+``repro.exec``
+    Declarative :class:`~repro.exec.RunSpec` descriptions, the
+    content-addressed result cache, and the parallel sweep orchestrator.
 ``repro.bench``
     Drivers that regenerate every figure of the paper's evaluation.
 """
@@ -51,6 +54,7 @@ from repro.collectives import (
     CommonNeighborAllgather,
     DistanceHalvingAllgather,
     NaiveAllgather,
+    RunOptions,
     available_algorithms,
     get_algorithm,
     run_allgather,
@@ -96,6 +100,7 @@ __all__ = [
     "DistanceHalvingAllgather",
     "available_algorithms",
     "get_algorithm",
+    "RunOptions",
     "run_allgather",
     "run_allgatherv",
     "verify_allgather",

@@ -15,9 +15,16 @@ Select a scale with the ``REPRO_BENCH_SCALE`` environment variable:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.cluster.machine import Machine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.cache import ResultCache
+    from repro.exec.orchestrator import SweepResult
+    from repro.exec.spec import RunSpec
 
 
 @dataclass(frozen=True)
@@ -90,3 +97,54 @@ def bench_machine(n_ranks: int, ranks_per_socket: int = 8) -> Machine:
             "pick a multiple"
         )
     return Machine.niagara_like(nodes=n_ranks // per_node, ranks_per_socket=ranks_per_socket)
+
+
+@dataclass
+class SweepConfig:
+    """Shared execution knobs for every bench driver.
+
+    This replaces the per-module grab bag of ``scale=`` / ``seed=`` /
+    ``out_path=`` keywords: one config object carries the scale, the
+    topology seed override, the output path, and — through
+    :mod:`repro.exec` — the process-pool width and the result cache.  Every
+    driver accepts ``config=`` and routes its simulations through
+    :meth:`run`, so ``repro bench --workers 4 --cache-dir ...`` means the
+    same thing for every figure.
+
+    The library default is cacheless and serial (``use_cache=False``,
+    ``workers=1``) so programmatic calls and the test suite stay
+    side-effect-free; the CLI turns the cache on by default.
+    """
+
+    scale: BenchScale | None = None
+    seed: int | None = None
+    out: str | Path | None = None
+    workers: int = 1
+    cache_dir: str | Path | None = None
+    use_cache: bool = False
+    smoke: bool = False
+    repeats: int = 3
+    _cache: "ResultCache | None" = field(default=None, repr=False, compare=False)
+
+    def resolve_scale(self, override: BenchScale | None = None) -> BenchScale:
+        """Explicit driver argument > config > ``$REPRO_BENCH_SCALE``."""
+        return override or self.scale or get_scale()
+
+    def resolve_seed(self, default: int) -> int:
+        return self.seed if self.seed is not None else default
+
+    def cache(self) -> "ResultCache | None":
+        """The shared :class:`ResultCache` (one instance, aggregated stats)."""
+        if not self.use_cache:
+            return None
+        if self._cache is None:
+            from repro.exec.cache import ResultCache
+
+            self._cache = ResultCache(self.cache_dir)
+        return self._cache
+
+    def run(self, specs: "list[RunSpec]") -> "SweepResult":
+        """Execute a spec sweep under this config's workers/cache."""
+        from repro.exec.orchestrator import execute
+
+        return execute(specs, workers=self.workers, cache=self.cache())

@@ -12,23 +12,18 @@ from typing import Any
 
 import numpy as np
 
-from repro.bench.config import BenchScale, bench_machine, get_scale
+from repro.bench.config import BenchScale, SweepConfig, bench_machine, get_scale
 from repro.bench.reporting import format_table, geometric_mean, save_results
-from repro.bench.sweep import (
-    DEFAULT_CN_KS,
-    best_common_neighbor,
-    sweep_latency,
-)
+from repro.bench.sweep import DEFAULT_CN_KS, sweep_latency
 from repro.cluster.calibration import calibrate
 from repro.collectives.base import get_algorithm
-from repro.collectives.runner import run_allgather
+from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
 from repro.model.comparison import FIG2_DENSITIES, model_grid
 from repro.model.equations import ModelParams, dh_total_time, naive_total_time
 from repro.spmm.kernel import run_spmm
 from repro.spmm.matrices import TABLE_II, synthetic_matrix
-from repro.topology.moore import moore_neighbor_count, moore_topology
+from repro.topology.moore import moore_neighbor_count
 from repro.topology.random_graphs import erdos_renyi_topology
-from repro.topology.scale_free import scale_free_topology
 from repro.utils.sizes import format_size, parse_size
 
 #: Moore neighborhood configurations benchmarked in Fig. 6 (r, d).
@@ -45,12 +40,49 @@ def _emit(title: str, headers, rows, payload: dict, verbose: bool) -> dict:
     return payload
 
 
+def _run_grid(
+    cfg: SweepConfig, keyed_specs: list[tuple[tuple, RunSpec]], verbose: bool
+) -> dict:
+    """Execute ``[(key, spec), ...]`` through the config's orchestrator.
+
+    Returns ``{key: AllgatherRun}``; any failed spec aborts the figure
+    (grids want every cell).  Execution statistics are printed, never
+    embedded in the payload — archived figure JSON must stay bit-identical
+    across worker counts and cache states.
+    """
+    sweep = cfg.run([spec for _, spec in keyed_specs]).raise_errors()
+    if verbose:
+        stats = sweep.stats
+        cache = stats.get("cache")
+        cache_note = (
+            f", cache {cache['hits']} hits / {cache['misses']} misses"
+            if cache else ""
+        )
+        print(
+            f"[exec] {stats['total']} runs: {stats['from_cache']} from cache, "
+            f"{stats['computed']} computed, workers={stats['workers']}"
+            f"{cache_note}"
+        )
+    return dict(zip((key for key, _ in keyed_specs), sweep.runs))
+
+
+def _best_cn(runs: dict, base_key: tuple, ks=DEFAULT_CN_KS):
+    """Best-K Common Neighbor cell: ``(run, best_k)`` (first minimum wins,
+    matching the paper's "we report the best results" sweep order)."""
+    candidates = [runs[(*base_key, f"cn{k}")] for k in ks]
+    winner = min(candidates, key=lambda run: run.simulated_time)
+    return winner, winner.setup_stats.extras.get("k")
+
+
 # ---------------------------------------------------------------------------
 # Fig. 2 — analytic model comparison at paper scale
 # ---------------------------------------------------------------------------
 
 
-def fig2_model(scale: BenchScale | None = None, verbose: bool = True) -> dict:
+def fig2_model(
+    scale: BenchScale | None = None, verbose: bool = True,
+    config: SweepConfig | None = None,
+) -> dict:
     """Fig. 2: model-predicted DH vs naive over density x message size.
 
     Always evaluated at the paper's machine scale (2000 cores, 50 nodes,
@@ -58,7 +90,8 @@ def fig2_model(scale: BenchScale | None = None, verbose: bool = True) -> dict:
     come from a simulated ping-pong fit, as the paper fit them from Niagara
     ping-pongs.
     """
-    scale = scale or get_scale()
+    cfg = config or SweepConfig()
+    scale = cfg.resolve_scale(scale)
     machine = bench_machine(scale.ranks, scale.ranks_per_socket)
     fit = calibrate(machine)
     params = ModelParams(
@@ -93,39 +126,55 @@ def fig2_model(scale: BenchScale | None = None, verbose: bool = True) -> dict:
 # ---------------------------------------------------------------------------
 
 
-def fig4_latency(scale: BenchScale | None = None, verbose: bool = True, seed: int = 11) -> dict:
+def fig4_latency(
+    scale: BenchScale | None = None, verbose: bool = True, seed: int = 11,
+    config: SweepConfig | None = None,
+) -> dict:
     """Fig. 4: simulated latency of DH vs naive across densities and sizes.
 
     Adds the analytic model's predicted speedup per cell, which is the
     model-validation claim the paper makes about this figure.
     """
-    scale = scale or get_scale()
-    machine = bench_machine(scale.ranks, scale.ranks_per_socket)
+    cfg = config or SweepConfig()
+    scale = cfg.resolve_scale(scale)
+    seed = cfg.resolve_seed(seed)
+    machine_spec = MachineSpec.for_ranks(scale.ranks, scale.ranks_per_socket)
+    machine = machine_spec.build()
     fit = calibrate(machine)
     params = ModelParams.from_machine(machine, alpha=fit.alpha, beta=fit.beta)
+
+    keyed_specs = []
+    for density in scale.densities:
+        topo_spec = TopologySpec("random", scale.ranks, density=density, seed=seed)
+        for alg in ("naive", "distance_halving"):
+            for size in scale.sizes:
+                keyed_specs.append(
+                    ((density, alg, size),
+                     RunSpec(alg, topo_spec, machine_spec, size))
+                )
+    runs = _run_grid(cfg, keyed_specs, verbose)
 
     rows: list[tuple] = []
     records: list[dict[str, Any]] = []
     for density in scale.densities:
-        topology = erdos_renyi_topology(scale.ranks, density, seed=seed)
-        naive = sweep_latency("naive", topology, machine, scale.sizes)
-        dh = sweep_latency("distance_halving", topology, machine, scale.sizes)
-        for nrec, drec in zip(naive, dh):
-            m = nrec.msg_size
+        for size in scale.sizes:
+            nrun = runs[(density, "naive", size)]
+            drun = runs[(density, "distance_halving", size)]
+            m = nrun.msg_size
             model_speedup = float(
                 naive_total_time(params, density, m) / dh_total_time(params, density, m)
             )
-            measured = nrec.simulated_time / drec.simulated_time
+            measured = nrun.simulated_time / drun.simulated_time
             rows.append(
-                (density, nrec.msg_label, nrec.simulated_time, drec.simulated_time,
+                (density, format_size(m), nrun.simulated_time, drun.simulated_time,
                  measured, model_speedup)
             )
             records.append(
                 {
                     "density": density,
                     "msg_size": m,
-                    "naive_time": nrec.simulated_time,
-                    "dh_time": drec.simulated_time,
+                    "naive_time": nrun.simulated_time,
+                    "dh_time": drun.simulated_time,
                     "measured_speedup": measured,
                     "model_speedup": model_speedup,
                 }
@@ -151,51 +200,72 @@ def fig4_latency(scale: BenchScale | None = None, verbose: bool = True, seed: in
 
 
 def fig5_speedup_scaling(
-    scale: BenchScale | None = None, verbose: bool = True, seed: int = 23
+    scale: BenchScale | None = None, verbose: bool = True, seed: int = 23,
+    config: SweepConfig | None = None,
 ) -> dict:
     """Fig. 5: DH and best-K Common Neighbor speedups over naive, at three
     communicator sizes (paper: 2160/1080/540), densities 0.05-0.7, sizes
     8B-4MB.  Also emits the paper's per-density average-speedup summary and
     the §VII-A agent-success-rate statistic.
     """
-    scale = scale or get_scale()
+    cfg = config or SweepConfig()
+    scale = cfg.resolve_scale(scale)
+    seed = cfg.resolve_seed(seed)
     sizes = scale.sizes
     rank_counts = [scale.ranks, scale.ranks // 2, scale.ranks // 4]
     per_node = 2 * scale.ranks_per_socket
     rank_counts = [max(per_node, (r // per_node) * per_node) for r in rank_counts]
 
+    variants = [("naive", {}, "naive"), ("distance_halving", {}, "dh")] + [
+        ("common_neighbor", {"k": k}, f"cn{k}") for k in DEFAULT_CN_KS
+    ]
+    keyed_specs = []
+    for n_ranks in rank_counts:
+        machine_spec = MachineSpec.for_ranks(n_ranks, scale.ranks_per_socket)
+        for density in scale.densities:
+            topo_spec = TopologySpec("random", n_ranks, density=density, seed=seed)
+            for size in sizes:
+                for alg, kwargs, label in variants:
+                    keyed_specs.append(
+                        ((n_ranks, density, size, label),
+                         RunSpec(alg, topo_spec, machine_spec, size,
+                                 algorithm_kwargs=kwargs))
+                    )
+    runs = _run_grid(cfg, keyed_specs, verbose)
+
     rows: list[tuple] = []
     records: list[dict[str, Any]] = []
     summary: list[tuple] = []
     for n_ranks in rank_counts:
-        machine = bench_machine(n_ranks, scale.ranks_per_socket)
         for density in scale.densities:
-            topology = erdos_renyi_topology(n_ranks, density, seed=seed)
-            naive = sweep_latency("naive", topology, machine, sizes)
-            dh = sweep_latency("distance_halving", topology, machine, sizes)
-            cn = best_common_neighbor(topology, machine, sizes)
-            success_rate = dh[0].detail.get("agent_success_rate", float("nan"))
+            first_dh = runs[(n_ranks, density, sizes[0], "dh")]
+            success_rate = first_dh.setup_stats.extras.get(
+                "agent_success_rate", float("nan")
+            )
             dh_speedups, cn_speedups = [], []
-            for nrec, drec, crec in zip(naive, dh, cn):
-                s_dh = nrec.simulated_time / drec.simulated_time
-                s_cn = nrec.simulated_time / crec.simulated_time
+            for size in sizes:
+                nrun = runs[(n_ranks, density, size, "naive")]
+                drun = runs[(n_ranks, density, size, "dh")]
+                crun, best_k = _best_cn(runs, (n_ranks, density, size))
+                s_dh = nrun.simulated_time / drun.simulated_time
+                s_cn = nrun.simulated_time / crun.simulated_time
                 dh_speedups.append(s_dh)
                 cn_speedups.append(s_cn)
                 rows.append(
-                    (n_ranks, density, nrec.msg_label, s_dh, s_cn,
-                     crec.detail.get("best_k"))
+                    (n_ranks, density, format_size(nrun.msg_size), s_dh, s_cn,
+                     best_k)
                 )
                 records.append(
                     {
                         "ranks": n_ranks,
                         "density": density,
-                        "msg_size": nrec.msg_size,
-                        "naive_time": nrec.simulated_time,
-                        "dh_time": drec.simulated_time,
-                        "cn_time": crec.simulated_time,
+                        "msg_size": nrun.msg_size,
+                        "naive_time": nrun.simulated_time,
+                        "dh_time": drun.simulated_time,
+                        "cn_time": crun.simulated_time,
                         "dh_speedup": s_dh,
                         "cn_speedup": s_cn,
-                        "cn_best_k": crec.detail.get("best_k"),
+                        "cn_best_k": best_k,
                         "agent_success_rate": success_rate,
                     }
                 )
@@ -244,34 +314,55 @@ def fig5_speedup_scaling(
 # ---------------------------------------------------------------------------
 
 
-def fig6_moore(scale: BenchScale | None = None, verbose: bool = True) -> dict:
+def fig6_moore(
+    scale: BenchScale | None = None, verbose: bool = True,
+    config: SweepConfig | None = None,
+) -> dict:
     """Fig. 6: DH and best-K CN speedups over naive for Moore neighborhoods
     at small (4KB), medium (256KB) and large (4MB) message sizes."""
-    scale = scale or get_scale()
+    cfg = config or SweepConfig()
+    scale = cfg.resolve_scale(scale)
     n = scale.moore_ranks
-    machine = bench_machine(n, scale.ranks_per_socket)
+    machine_spec = MachineSpec.for_ranks(n, scale.ranks_per_socket)
+
+    variants = [("naive", {}, "naive"), ("distance_halving", {}, "dh")] + [
+        ("common_neighbor", {"k": k}, f"cn{k}") for k in DEFAULT_CN_KS
+    ]
+    keyed_specs = []
+    for r, d in MOORE_CONFIGS:
+        topo_spec = TopologySpec("moore", n, radius=r, dims=d)
+        for size in MOORE_SIZES:
+            for alg, kwargs, label in variants:
+                keyed_specs.append(
+                    (((r, d), size, label),
+                     RunSpec(alg, topo_spec, machine_spec, size,
+                             algorithm_kwargs=kwargs))
+                )
+    runs = _run_grid(cfg, keyed_specs, verbose)
 
     rows: list[tuple] = []
     records: list[dict[str, Any]] = []
     for r, d in MOORE_CONFIGS:
-        topology = moore_topology(n, r=r, d=d)
-        naive = sweep_latency("naive", topology, machine, MOORE_SIZES)
-        dh = sweep_latency("distance_halving", topology, machine, MOORE_SIZES)
-        cn = best_common_neighbor(topology, machine, MOORE_SIZES)
-        for nrec, drec, crec in zip(naive, dh, cn):
-            s_dh = nrec.simulated_time / drec.simulated_time
-            s_cn = nrec.simulated_time / crec.simulated_time
-            rows.append((f"r={r},d={d}", moore_neighbor_count(r, d), nrec.msg_label, s_dh, s_cn))
+        for size in MOORE_SIZES:
+            nrun = runs[((r, d), size, "naive")]
+            drun = runs[((r, d), size, "dh")]
+            crun, best_k = _best_cn(runs, ((r, d), size))
+            s_dh = nrun.simulated_time / drun.simulated_time
+            s_cn = nrun.simulated_time / crun.simulated_time
+            rows.append(
+                (f"r={r},d={d}", moore_neighbor_count(r, d),
+                 format_size(nrun.msg_size), s_dh, s_cn)
+            )
             records.append(
                 {
                     "r": r,
                     "d": d,
                     "neighbors": moore_neighbor_count(r, d),
-                    "msg_size": nrec.msg_size,
-                    "naive_time": nrec.simulated_time,
+                    "msg_size": nrun.msg_size,
+                    "naive_time": nrun.simulated_time,
                     "dh_speedup": s_dh,
                     "cn_speedup": s_cn,
-                    "cn_best_k": crec.detail.get("best_k"),
+                    "cn_best_k": best_k,
                 }
             )
     payload = {
@@ -295,6 +386,7 @@ def fig6_variance_study(
     placements: int = 8,
     msg_size: str = "512",
     moore_r: int = 2,
+    config: SweepConfig | None = None,
 ) -> dict:
     """The Fig. 6 stability claim: "The experiments were repeated multiple
     times, and each time different nodes are assigned to the job ... the
@@ -310,18 +402,27 @@ def fig6_variance_study(
     messages — hence the 512B default); at bandwidth-bound sizes the two
     algorithms' placement variance is comparable.
     """
-    scale = scale or get_scale()
+    cfg = config or SweepConfig()
+    scale = cfg.resolve_scale(scale)
     n = scale.moore_ranks
-    base = bench_machine(n, scale.ranks_per_socket)
-    topology = moore_topology(n, r=moore_r, d=2)
+    topo_spec = TopologySpec("moore", n, radius=moore_r, dims=2)
 
-    samples: dict[str, list[float]] = {"naive": [], "distance_halving": []}
+    algorithms = ("naive", "distance_halving")
+    keyed_specs = []
     for trial in range(placements):
-        machine = base.random_placement(seed=1000 + trial)
-        for alg in samples:
-            samples[alg].append(
-                run_allgather(alg, topology, machine, msg_size).simulated_time
+        machine_spec = MachineSpec.for_ranks(
+            n, scale.ranks_per_socket, placement_seed=1000 + trial
+        )
+        for alg in algorithms:
+            keyed_specs.append(
+                ((trial, alg), RunSpec(alg, topo_spec, machine_spec, msg_size))
             )
+    runs = _run_grid(cfg, keyed_specs, verbose)
+
+    samples: dict[str, list[float]] = {alg: [] for alg in algorithms}
+    for trial in range(placements):
+        for alg in algorithms:
+            samples[alg].append(runs[(trial, alg)].simulated_time)
 
     rows, records = [], []
     for alg, times in samples.items():
@@ -359,10 +460,18 @@ def fig6_variance_study(
 
 
 def fig7_spmm(
-    scale: BenchScale | None = None, verbose: bool = True, y_cols: int = 8, seed: int = 5
+    scale: BenchScale | None = None, verbose: bool = True, y_cols: int = 8,
+    seed: int = 5, config: SweepConfig | None = None,
 ) -> dict:
-    """Fig. 7: SpMM speedups over naive for the seven Table II matrices."""
-    scale = scale or get_scale()
+    """Fig. 7: SpMM speedups over naive for the seven Table II matrices.
+
+    Serial by design: the SpMM kernel couples compute and communication
+    phases through live sparse buffers, so its runs are not cacheable
+    :class:`RunSpec` simulations.
+    """
+    cfg = config or SweepConfig()
+    scale = cfg.resolve_scale(scale)
+    seed = cfg.resolve_seed(seed)
     machine = bench_machine(scale.ranks, scale.ranks_per_socket)
 
     rows: list[tuple] = []
@@ -414,10 +523,19 @@ def fig7_spmm(
 # ---------------------------------------------------------------------------
 
 
-def fig8_overhead(scale: BenchScale | None = None, verbose: bool = True, seed: int = 31) -> dict:
+def fig8_overhead(
+    scale: BenchScale | None = None, verbose: bool = True, seed: int = 31,
+    config: SweepConfig | None = None,
+) -> dict:
     """Fig. 8: pattern-creation cost of DH (message-level protocol) vs the
-    Common Neighbor setup, across densities."""
-    scale = scale or get_scale()
+    Common Neighbor setup, across densities.
+
+    Serial by design: it measures ``setup()`` in isolation (no collective
+    runs), which the RunSpec/result-cache pipeline does not model.
+    """
+    cfg = config or SweepConfig()
+    scale = cfg.resolve_scale(scale)
+    seed = cfg.resolve_seed(seed)
     machine = bench_machine(scale.ranks, scale.ranks_per_socket)
 
     rows: list[tuple] = []
@@ -469,7 +587,10 @@ def fig8_overhead(scale: BenchScale | None = None, verbose: bool = True, seed: i
 # ---------------------------------------------------------------------------
 
 
-def ext_alltoall(scale: BenchScale | None = None, verbose: bool = True, seed: int = 47) -> dict:
+def ext_alltoall(
+    scale: BenchScale | None = None, verbose: bool = True, seed: int = 47,
+    config: SweepConfig | None = None,
+) -> dict:
     """Future-work extension: distance-halving neighborhood alltoall.
 
     Compares the DH alltoall against the naive per-edge default over the
@@ -480,7 +601,9 @@ def ext_alltoall(scale: BenchScale | None = None, verbose: bool = True, seed: in
     """
     from repro.collectives.alltoall import run_alltoall, verify_alltoall
 
-    scale = scale or get_scale()
+    cfg = config or SweepConfig()
+    scale = cfg.resolve_scale(scale)
+    seed = cfg.resolve_seed(seed)
     machine = bench_machine(scale.ranks, scale.ranks_per_socket)
     sizes = ("64", "4KB")
 
@@ -538,7 +661,7 @@ def ext_alltoall(scale: BenchScale | None = None, verbose: bool = True, seed: in
 
 def ext_network_sensitivity(
     scale: BenchScale | None = None, verbose: bool = True, seed: int = 53,
-    density: float = 0.3,
+    density: float = 0.3, config: SweepConfig | None = None,
 ) -> dict:
     """Section IV's generality claim: the distant-rank bottleneck "extends
     beyond the mentioned topologies", so DH should win on Dragonfly+,
@@ -551,7 +674,9 @@ def ext_network_sensitivity(
     from repro.cluster.machine import Machine
     from repro.cluster.spec import ClusterSpec
 
-    scale = scale or get_scale()
+    cfg = config or SweepConfig()
+    scale = cfg.resolve_scale(scale)
+    seed = cfg.resolve_seed(seed)
     spec = ClusterSpec(
         nodes=scale.ranks // (2 * scale.ranks_per_socket),
         sockets_per_node=2,
@@ -615,6 +740,7 @@ def _torus_dims(nodes: int) -> tuple[int, ...]:
 def ablation_agent_policy(
     scale: BenchScale | None = None, verbose: bool = True, seed: int = 17,
     msg_size: str = "512", trials: int = 3,
+    config: SweepConfig | None = None,
 ) -> dict:
     """Load-aware agent choice vs random agent choice (design decision 1).
 
@@ -626,34 +752,49 @@ def ablation_agent_policy(
     (geometric mean) over ``trials`` seeds because single-instance ratios
     are matching-lottery noisy.
     """
-    scale = scale or get_scale()
-    machine = bench_machine(scale.ranks, scale.ranks_per_socket)
+    cfg = config or SweepConfig()
+    scale = cfg.resolve_scale(scale)
+    seed = cfg.resolve_seed(seed)
+    machine_spec = MachineSpec.for_ranks(scale.ranks, scale.ranks_per_socket)
 
     def workload_makers():
         for density in scale.densities:
             yield (
                 f"ER d={density}",
                 density,
-                lambda s, d=density: erdos_renyi_topology(scale.ranks, d, seed=s),
+                lambda s, d=density: TopologySpec(
+                    "random", scale.ranks, density=d, seed=s
+                ),
             )
         # Imbalanced workload — where the paper motivates the load-aware choice.
         yield (
             "scale-free",
             None,
-            lambda s: scale_free_topology(scale.ranks, edges_per_rank=6, seed=s),
+            lambda s: TopologySpec(
+                "scale_free", scale.ranks, edges_per_rank=6, seed=s
+            ),
         )
 
+    workloads = list(workload_makers())
+    policies = (("aware", {}), ("random", {"selection": "random"}))
+    keyed_specs = []
+    for label, _, make in workloads:
+        for trial in range(trials):
+            topo_spec = make(seed + trial)
+            for policy, kwargs in policies:
+                keyed_specs.append(
+                    ((label, trial, policy),
+                     RunSpec("distance_halving", topo_spec, machine_spec,
+                             msg_size, algorithm_kwargs=kwargs))
+                )
+    runs = _run_grid(cfg, keyed_specs, verbose)
+
     rows, records = [], []
-    for label, density, make in workload_makers():
+    for label, density, _ in workloads:
         ratios, aware_times, random_times = [], [], []
         for trial in range(trials):
-            topology = make(seed + trial)
-            t_aware = run_allgather(
-                "distance_halving", topology, machine, msg_size
-            ).simulated_time
-            t_random = run_allgather(
-                "distance_halving", topology, machine, msg_size, selection="random"
-            ).simulated_time
+            t_aware = runs[(label, trial, "aware")].simulated_time
+            t_random = runs[(label, trial, "random")].simulated_time
             ratios.append(t_random / t_aware)
             aware_times.append(t_aware)
             random_times.append(t_random)
@@ -688,20 +829,29 @@ def ablation_agent_policy(
 
 def ablation_stop_granularity(
     scale: BenchScale | None = None, verbose: bool = True, seed: int = 17,
-    msg_size: str = "4KB",
+    msg_size: str = "4KB", config: SweepConfig | None = None,
 ) -> dict:
     """Stop halving at the socket (paper) vs halving to single ranks."""
-    scale = scale or get_scale()
-    machine = bench_machine(scale.ranks, scale.ranks_per_socket)
+    cfg = config or SweepConfig()
+    scale = cfg.resolve_scale(scale)
+    seed = cfg.resolve_seed(seed)
+    machine_spec = MachineSpec.for_ranks(scale.ranks, scale.ranks_per_socket)
+
+    keyed_specs = []
+    for density in scale.densities:
+        topo_spec = TopologySpec("random", scale.ranks, density=density, seed=seed)
+        for variant, kwargs in (("socket", {}), ("single", {"stop_ranks": 1})):
+            keyed_specs.append(
+                ((density, variant),
+                 RunSpec("distance_halving", topo_spec, machine_spec, msg_size,
+                         algorithm_kwargs=kwargs))
+            )
+    runs = _run_grid(cfg, keyed_specs, verbose)
+
     rows, records = [], []
     for density in scale.densities:
-        topology = erdos_renyi_topology(scale.ranks, density, seed=seed)
-        t_socket = run_allgather(
-            "distance_halving", topology, machine, msg_size
-        ).simulated_time
-        t_single = run_allgather(
-            "distance_halving", topology, machine, msg_size, stop_ranks=1
-        ).simulated_time
+        t_socket = runs[(density, "socket")].simulated_time
+        t_single = runs[(density, "single")].simulated_time
         rows.append((density, t_socket, t_single, t_single / t_socket))
         records.append(
             {

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.cluster.machine import Machine
 from repro.collectives.base import NeighborhoodAllgatherAlgorithm, get_algorithm
-from repro.collectives.runner import run_allgather
+from repro.collectives.runner import RunOptions, run_allgather
 from repro.topology.graph import DistGraphTopology
 
 
@@ -72,7 +72,8 @@ def latency_benchmark(
             machine.random_placement(seed=seed * 1_000_003 + i) if vary_placement else machine
         )
         run = run_allgather(
-            algorithm, topology, run_machine, msg_size, noise_seed=seed * 7919 + i
+            algorithm, topology, run_machine, msg_size,
+            options=RunOptions(noise_seed=seed * 7919 + i),
         )
         msg_bytes = run.msg_size
         if i >= warmup:

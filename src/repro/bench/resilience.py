@@ -31,12 +31,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.bench.config import BenchScale, bench_machine, get_scale
+from repro.bench.config import BenchScale, SweepConfig, get_scale
 from repro.bench.reporting import format_table, geometric_mean
-from repro.collectives.runner import run_allgather, verify_allgather
-from repro.sim.engine import DeadlockError, SimTimeoutError
+from repro.collectives.runner import RunOptions
+from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
 from repro.sim.faults import PROFILE_NAMES, resilience_profiles
-from repro.topology.random_graphs import erdos_renyi_topology
 from repro.utils.sizes import format_size, parse_size
 
 #: All allgather algorithms of the study, in report order.
@@ -87,13 +86,39 @@ def build_grid(scale: BenchScale, smoke: bool = False) -> list[tuple[int, float,
     ]
 
 
-def _run_cell(
-    case: ResilienceCase, plan, clean_time: float | None
-) -> dict[str, Any]:
-    """Run one cell under one profile; never raises for sim-level failures."""
-    machine = bench_machine(case.ranks, case.ranks_per_socket)
-    topology = erdos_renyi_topology(case.ranks, case.density, seed=FIG5_SEED)
+def _case_spec(case: ResilienceCase, plan) -> RunSpec:
+    """The cell as a :class:`RunSpec` (verification runs in-worker)."""
     kwargs = {"k": CN_K} if case.algorithm == "common_neighbor" else {}
+    options = RunOptions(
+        fault_plan=plan,
+        fallback="naive" if plan is not None else None,
+        max_sim_time=MAX_SIM_TIME,
+        max_events=MAX_EVENTS_PER_MESSAGE * case.ranks * case.ranks,
+        verify=True,
+    )
+    return RunSpec(
+        case.algorithm,
+        TopologySpec("random", case.ranks, density=case.density, seed=FIG5_SEED),
+        MachineSpec.for_ranks(case.ranks, case.ranks_per_socket),
+        case.msg_bytes,
+        algorithm_kwargs=kwargs,
+        options=options,
+    )
+
+
+#: Orchestrator error prefixes that are resilience *outcomes*, not bugs.
+_EXPECTED_FAILURES = (("SimTimeoutError", "timeout"), ("DeadlockError", "deadlock"))
+
+
+def _cell_record(
+    case: ResilienceCase, outcome, clean_time: float | None
+) -> dict[str, Any]:
+    """Fold one orchestrator outcome into a report row.
+
+    Watchdog/deadlock failures become failure rows; any other error
+    (including an in-worker verification failure) raises — those are bugs,
+    not resilience outcomes.
+    """
     record: dict[str, Any] = {
         "algorithm": case.algorithm,
         "ranks": case.ranks,
@@ -101,25 +126,16 @@ def _run_cell(
         "msg_bytes": case.msg_bytes,
         "profile": case.profile,
     }
-    try:
-        run = run_allgather(
-            case.algorithm,
-            topology,
-            machine,
-            case.msg_bytes,
-            fault_plan=plan,
-            fallback="naive" if plan is not None else None,
-            max_sim_time=MAX_SIM_TIME,
-            max_events=MAX_EVENTS_PER_MESSAGE * case.ranks * case.ranks,
-            **kwargs,
+    if outcome.error is not None:
+        for kind, status in _EXPECTED_FAILURES:
+            prefix = f"{kind}: "
+            if outcome.error.startswith(prefix):
+                record.update(status=status, error=outcome.error[len(prefix):][:300])
+                return record
+        raise RuntimeError(
+            f"resilience cell {case.label()} failed unexpectedly: {outcome.error}"
         )
-        verify_allgather(topology, run)
-    except SimTimeoutError as exc:
-        record.update(status="timeout", error=str(exc)[:300])
-        return record
-    except DeadlockError as exc:
-        record.update(status="deadlock", error=str(exc)[:300])
-        return record
+    run = outcome.run
     record.update(
         status="completed",
         simulated_time=run.simulated_time,
@@ -140,41 +156,52 @@ def resilience_bench(
     out_path: str | Path | None = "BENCH_resilience.json",
     fault_seed: int = FAULT_SEED,
     verbose: bool = False,
+    config: SweepConfig | None = None,
 ) -> dict[str, Any]:
     """Run the resilience study; returns (and writes) the report payload."""
-    scale = scale or get_scale()
+    cfg = config or SweepConfig()
+    scale = cfg.resolve_scale(scale)
     grid = build_grid(scale, smoke=smoke)
+
+    # Flatten the study into (case, spec) pairs in report order: per grid
+    # cell, per algorithm, the clean run first then every fault profile.
+    study: list[ResilienceCase] = []
+    specs: list[RunSpec] = []
+    for ranks, density, msg_bytes in grid:
+        profiles = resilience_profiles(ranks, seed=fault_seed)
+        for algorithm in ALGORITHMS:
+            for profile in ("clean", *(p for p in PROFILE_NAMES if p != "clean")):
+                case = ResilienceCase(
+                    algorithm, ranks, scale.ranks_per_socket, density,
+                    msg_bytes, profile,
+                )
+                study.append(case)
+                specs.append(_case_spec(
+                    case, None if profile == "clean" else profiles[profile]
+                ))
+
+    wall_start = time.perf_counter()
+    sweep = cfg.run(specs)
 
     cases: list[dict[str, Any]] = []
     #: profile -> algorithm -> list of slowdowns (completed cells only)
     slowdowns: dict[str, dict[str, list[float]]] = {
         p: {a: [] for a in ALGORITHMS} for p in PROFILE_NAMES if p != "clean"
     }
-    wall_start = time.perf_counter()
-    for ranks, density, msg_bytes in grid:
-        profiles = resilience_profiles(ranks, seed=fault_seed)
-        for algorithm in ALGORITHMS:
-            clean_case = ResilienceCase(
-                algorithm, ranks, scale.ranks_per_socket, density, msg_bytes, "clean"
+    clean_time: float | None = None
+    for case, outcome in zip(study, sweep.outcomes):
+        record = _cell_record(
+            case, outcome, None if case.profile == "clean" else clean_time
+        )
+        cases.append(record)
+        if case.profile == "clean":
+            clean_time = record.get("simulated_time")
+        elif "slowdown_vs_clean" in record:
+            slowdowns[case.profile][case.algorithm].append(
+                record["slowdown_vs_clean"]
             )
-            clean = _run_cell(clean_case, None, None)
-            cases.append(clean)
-            clean_time = clean.get("simulated_time")
-            if verbose:
-                _print_cell(clean_case, clean)
-            for profile in PROFILE_NAMES:
-                if profile == "clean":
-                    continue
-                case = ResilienceCase(
-                    algorithm, ranks, scale.ranks_per_socket, density,
-                    msg_bytes, profile,
-                )
-                record = _run_cell(case, profiles[profile], clean_time)
-                cases.append(record)
-                if "slowdown_vs_clean" in record:
-                    slowdowns[profile][algorithm].append(record["slowdown_vs_clean"])
-                if verbose:
-                    _print_cell(case, record)
+        if verbose:
+            _print_cell(case, record)
 
     summary = {
         profile: {

@@ -3,15 +3,24 @@
 A sweep reuses each algorithm instance across message sizes so pattern
 creation is paid once per (algorithm, topology), exactly as an application
 would amortize ``MPI_Dist_graph_create_adjacent``.
+
+:func:`smoke_sweep` is the orchestrated counterpart: a tiny fixed grid of
+:class:`~repro.exec.spec.RunSpec` executed through
+:class:`~repro.bench.config.SweepConfig`, reporting execution statistics
+(cache hit rate, worker count).  CI runs it twice and asserts the second
+pass is answered from cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
+from repro.bench.config import SweepConfig
 from repro.cluster.machine import Machine
 from repro.collectives.base import NeighborhoodAllgatherAlgorithm, get_algorithm
 from repro.collectives.runner import run_allgather
+from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
 from repro.topology.graph import DistGraphTopology
 from repro.utils.sizes import format_size, parse_size
 
@@ -79,6 +88,61 @@ def best_common_neighbor(
         winner.detail["best_k"] = winner.detail.get("k")
         best.append(winner)
     return best
+
+
+#: The smoke grid: every algorithm family, two densities, two sizes.
+SMOKE_ALGORITHMS = (
+    ("naive", ()),
+    ("distance_halving", ()),
+    ("common_neighbor", (("k", 2),)),
+)
+
+
+def smoke_sweep(
+    config: SweepConfig | None = None,
+    *,
+    ranks: int = 16,
+    ranks_per_socket: int = 4,
+    densities: tuple[float, ...] = (0.1, 0.5),
+    sizes: tuple[str, ...] = ("64", "16KB"),
+    seed: int = 23,
+) -> dict[str, Any]:
+    """Tiny orchestrated sweep; returns records plus execution stats.
+
+    The grid is fixed and fully deterministic, so consecutive invocations
+    against a shared cache should answer ~every spec from cache — the
+    report's ``execution.cache.hit_rate`` is what CI asserts on.
+    """
+    cfg = config or SweepConfig()
+    machine = MachineSpec.for_ranks(ranks, ranks_per_socket)
+    keyed: list[tuple[tuple, RunSpec]] = []
+    for density in densities:
+        topology = TopologySpec("random", ranks, density=density, seed=seed)
+        for size in sizes:
+            for name, kwargs in SMOKE_ALGORITHMS:
+                keyed.append((
+                    (name, density, parse_size(size)),
+                    RunSpec(name, topology, machine, size,
+                            algorithm_kwargs=kwargs),
+                ))
+    sweep = cfg.run([spec for _, spec in keyed]).raise_errors()
+    records = [
+        {
+            "algorithm": name,
+            "density": density,
+            "msg_bytes": msg_bytes,
+            "simulated_time": run.simulated_time,
+            "messages": run.messages_sent,
+        }
+        for ((name, density, msg_bytes), _), run in zip(keyed, sweep.runs)
+    ]
+    return {
+        "experiment": "smoke_sweep",
+        "ranks": ranks,
+        "seed": seed,
+        "records": records,
+        "execution": sweep.stats,
+    }
 
 
 def speedup_over(

@@ -38,7 +38,7 @@ from typing import Any
 from repro.bench.config import BenchScale, bench_machine, get_scale
 from repro.bench.reporting import format_table, geometric_mean
 from repro.collectives.base import get_algorithm
-from repro.collectives.runner import run_allgather
+from repro.collectives.runner import RunOptions, run_allgather
 from repro.topology.random_graphs import erdos_renyi_topology
 from repro.utils.sizes import format_size, parse_size
 
@@ -154,7 +154,10 @@ def _run_case(case: WallclockCase, repeats: int, check_trace: bool) -> CaseResul
         result.wall_seconds.append(run.wall_time)
 
     if check_trace:
-        traced = run_allgather(algorithm, topology, machine, case.msg_bytes, trace=True)
+        traced = run_allgather(
+            algorithm, topology, machine, case.msg_bytes,
+            options=RunOptions(trace=True),
+        )
         if (
             traced.simulated_time != result.simulated_time
             or traced.messages_sent != result.messages_sent

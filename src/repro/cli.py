@@ -17,7 +17,13 @@ Commands
 ``bench``
     Regenerate one paper figure (or ``all``) at the selected scale; with
     ``--wallclock`` run the sim-core harness, with ``--resilience`` the
-    per-algorithm fault-injection study.
+    per-algorithm fault-injection study, with ``--sweep-smoke`` the tiny
+    orchestrated sweep (prints cache/worker statistics, for CI).  Figure
+    sweeps run through the :mod:`repro.exec` orchestrator: ``--workers N``
+    fans specs over a process pool and the content-addressed result cache
+    (on by default; ``--no-cache`` / ``--cache-dir`` control it) answers
+    previously-computed cells without re-simulating.  Parallel and cached
+    reruns are bit-identical to serial cold runs.
 
 Simulation failures (``DeadlockError``, ``SimTimeoutError``) exit non-zero
 with a one-line diagnostic instead of a traceback; ``--max-sim-time`` /
@@ -121,6 +127,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "--wallclock, BENCH_resilience.json for --resilience)")
     bench_p.add_argument("--record-baseline", action="store_true",
                          help="record wallclock measurements as the new baseline")
+    bench_p.add_argument("--seed", type=int, default=None,
+                         help="override the driver's default topology seed")
+    bench_p.add_argument("--workers", type=int, default=1,
+                         help="process-pool width for orchestrated sweeps "
+                              "(default 1 = serial; simulated times are "
+                              "bit-identical either way)")
+    bench_p.add_argument("--cache-dir", default=None,
+                         help="result-cache directory (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    bench_p.add_argument("--no-cache", action="store_true",
+                         help="disable the content-addressed result cache")
+    bench_p.add_argument("--sweep-smoke", action="store_true",
+                         help="run the tiny orchestrated smoke sweep and "
+                              "print execution/cache statistics")
+    bench_p.add_argument("--min-cache-hit-rate", type=float, default=None,
+                         help="with --sweep-smoke: exit 1 if the cache hit "
+                              "rate falls below this fraction")
     return parser
 
 
@@ -186,7 +209,7 @@ def cmd_compare(args) -> int:
     rows = []
     baseline = None
     if args.collective == "allgather":
-        from repro.collectives import run_allgather, verify_allgather
+        from repro.collectives import RunOptions, run_allgather, verify_allgather
         from repro.sim.faults import get_profile
 
         fault_plan = (
@@ -194,14 +217,14 @@ def cmd_compare(args) -> int:
         )
         if fault_plan is not None:
             print(f"faults  : {args.faults} ({fault_plan.describe()})\n")
+        options = RunOptions(
+            fault_plan=fault_plan,
+            fallback="naive" if fault_plan is not None else None,
+            max_sim_time=args.max_sim_time,
+            max_events=args.max_events,
+        )
         for name in ("naive", "common_neighbor", "distance_halving"):
-            run = run_allgather(
-                name, topology, machine, args.msg,
-                fault_plan=fault_plan,
-                fallback="naive" if fault_plan is not None else None,
-                max_sim_time=args.max_sim_time,
-                max_events=args.max_events,
-            )
+            run = run_allgather(name, topology, machine, args.msg, options=options)
             verify_allgather(topology, run)
             baseline = baseline or run.simulated_time
             label = name if not run.fallback_used else f"{name} (->{run.algorithm})"
@@ -292,11 +315,46 @@ def cmd_spmm(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    from repro.bench.config import SweepConfig
+
     scale = get_scale(args.scale)
-    if args.wallclock and args.resilience:
-        print("error: --wallclock and --resilience are mutually exclusive",
-              file=sys.stderr)
+    if sum(map(bool, (args.wallclock, args.resilience, args.sweep_smoke))) > 1:
+        print("error: --wallclock, --resilience and --sweep-smoke are "
+              "mutually exclusive", file=sys.stderr)
         return 2
+    config = SweepConfig(
+        scale=scale,
+        seed=args.seed,
+        out=args.out,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        smoke=args.smoke,
+        repeats=args.repeats,
+    )
+    if args.sweep_smoke:
+        from repro.bench.sweep import smoke_sweep
+
+        report = smoke_sweep(config)
+        ex = report["execution"]
+        cache_stats = ex.get("cache")
+        print(f"smoke sweep: {ex['total']} specs, {ex['from_cache']} from "
+              f"cache, {ex['computed']} computed, workers={ex['workers']}")
+        if cache_stats is None:
+            print("cache: disabled")
+            hit_rate = 0.0
+        else:
+            hit_rate = cache_stats["hit_rate"]
+            print(f"cache: {ex['cache_dir']} hits={cache_stats['hits']} "
+                  f"misses={cache_stats['misses']} "
+                  f"invalidated={cache_stats['invalidated']} "
+                  f"hit_rate={hit_rate:.2f}")
+        if (args.min_cache_hit_rate is not None
+                and hit_rate < args.min_cache_hit_rate):
+            print(f"error: cache hit rate {hit_rate:.2f} is below the "
+                  f"required {args.min_cache_hit_rate:.2f}", file=sys.stderr)
+            return 1
+        return 0
     if args.wallclock:
         from repro.bench.wallclock import wallclock_bench
 
@@ -321,6 +379,7 @@ def cmd_bench(args) -> int:
             smoke=args.smoke,
             out_path=args.out or "BENCH_resilience.json",
             verbose=True,
+            config=config,
         )
         return 0
     if args.figure is None:
@@ -333,7 +392,7 @@ def cmd_bench(args) -> int:
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
     for name in names:
         driver = getattr(figures, FIGURES[name])
-        driver(scale, verbose=True)
+        driver(scale, verbose=True, config=config)
     return 0
 
 

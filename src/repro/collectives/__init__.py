@@ -26,7 +26,14 @@ from repro.collectives.naive import NaiveAllgather
 from repro.collectives.common_neighbor import CommonNeighborAllgather
 from repro.collectives.distance_halving import DistanceHalvingAllgather
 from repro.collectives.hierarchical import HierarchicalAllgather
-from repro.collectives.runner import AllgatherRun, run_allgather, run_allgatherv, verify_allgather
+from repro.collectives.runner import (
+    DEFAULT_OPTIONS,
+    AllgatherRun,
+    RunOptions,
+    run_allgather,
+    run_allgatherv,
+    verify_allgather,
+)
 
 __all__ = [
     "NeighborhoodAllgatherAlgorithm",
@@ -40,6 +47,8 @@ __all__ = [
     "DistanceHalvingAllgather",
     "HierarchicalAllgather",
     "AllgatherRun",
+    "RunOptions",
+    "DEFAULT_OPTIONS",
     "run_allgather",
     "run_allgatherv",
     "verify_allgather",

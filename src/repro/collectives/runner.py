@@ -8,7 +8,9 @@ received blocks for verification.
 
 from __future__ import annotations
 
+import dataclasses
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -24,6 +26,72 @@ from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.tracing import TraceCollector
 from repro.topology.graph import DistGraphTopology
 from repro.utils.sizes import parse_size
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Execution options for one simulated collective.
+
+    This is the single carrier for everything that used to sprawl across
+    :func:`run_allgather`'s keyword surface (``trace``, ``noise_seed``,
+    ``fault_plan``, ``fallback``, ``max_sim_time``, ``max_events``); it is
+    also embedded verbatim in :class:`repro.exec.RunSpec`, so one object
+    describes a run identically for direct calls, the sweep orchestrator,
+    and the result cache.
+
+    Attributes
+    ----------
+    trace:
+        Collect a per-message :class:`~repro.sim.tracing.TraceCollector`
+        (and resource utilization) on the run.
+    noise_seed:
+        Seed for machine-level noise (only meaningful on machines with
+        ``jitter > 0``).
+    fault_plan:
+        A seeded :class:`~repro.sim.faults.FaultPlan` injecting link
+        degradation, stragglers, and message loss.
+    fallback:
+        Graceful degradation: registered algorithm to swap in when the
+        requested algorithm's setup cannot complete under ``fault_plan``.
+    max_sim_time, max_events:
+        Engine watchdog budgets; exceeding either raises
+        :class:`~repro.sim.engine.SimTimeoutError`.
+    verify:
+        Assert the MPI post-condition (:func:`verify_allgather`) before
+        returning — used by orchestrated sweeps, where the caller never
+        sees the full (non-slim) result buffers.
+    """
+
+    trace: bool = False
+    noise_seed: int = 0
+    fault_plan: FaultPlan | None = None
+    fallback: str | None = None
+    max_sim_time: float | None = None
+    max_events: int | None = None
+    verify: bool = False
+
+    def canonical(self) -> dict:
+        """JSON-safe dict with a stable field order (for spec digests)."""
+        return {
+            "trace": self.trace,
+            "noise_seed": self.noise_seed,
+            "fault_plan": (
+                self.fault_plan.to_dict() if self.fault_plan is not None else None
+            ),
+            "fallback": self.fallback,
+            "max_sim_time": self.max_sim_time,
+            "max_events": self.max_events,
+            "verify": self.verify,
+        }
+
+
+#: Shared default options (all fields at their defaults).
+DEFAULT_OPTIONS = RunOptions()
+
+#: Legacy run_allgather keywords absorbed into :class:`RunOptions`.
+_LEGACY_OPTION_KEYS = (
+    "trace", "noise_seed", "fault_plan", "fallback", "max_sim_time", "max_events",
+)
 
 
 @dataclass
@@ -55,6 +123,54 @@ class AllgatherRun:
         under the fault plan and the run degraded to ``fallback``."""
         return self.requested_algorithm is not None
 
+    def slim(self) -> "AllgatherRun":
+        """A copy without the per-rank result buffers and the trace.
+
+        ``results`` holds one dict per rank of arbitrary payload objects and
+        ``trace`` a :class:`~repro.sim.tracing.TraceCollector` closed over
+        live simulator state — together they make a run unpicklable (or
+        enormous) for cross-process transfer and content-addressed caching.
+        Everything else (timings, counters, setup stats, fault stats) is
+        preserved bit-for-bit.
+        """
+        return dataclasses.replace(self, results=[], trace=None)
+
+
+def _absorb_legacy_kwargs(
+    algorithm: str | NeighborhoodAllgatherAlgorithm,
+    options: RunOptions | None,
+    legacy: dict[str, Any],
+) -> tuple[str | NeighborhoodAllgatherAlgorithm, RunOptions | None]:
+    """Deprecation shim: fold pre-RunOptions keywords into the new API.
+
+    Option keywords (``trace``, ``noise_seed``, ``fault_plan``,
+    ``fallback``, ``max_sim_time``, ``max_events``) become a
+    :class:`RunOptions`; any remaining keywords are algorithm constructor
+    arguments, resolved through :func:`get_algorithm` exactly as before.
+    """
+    option_kwargs = {k: legacy.pop(k) for k in _LEGACY_OPTION_KEYS if k in legacy}
+    warnings.warn(
+        "passing "
+        + ", ".join(sorted(list(option_kwargs) + [f"{k} (algorithm kwarg)" for k in legacy]))
+        + " to run_allgather as bare keywords is deprecated; pass "
+        "options=RunOptions(...) and build algorithm instances with "
+        "get_algorithm(name, **kwargs) (or use repro.exec.RunSpec)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if legacy and not isinstance(algorithm, str):
+        raise ValueError("algorithm_kwargs only apply when algorithm is a name")
+    if legacy:
+        algorithm = get_algorithm(algorithm, **legacy)
+    if option_kwargs:
+        if options is not None:
+            raise ValueError(
+                "pass either options=RunOptions(...) or legacy option "
+                f"keywords, not both (got both options= and {sorted(option_kwargs)})"
+            )
+        options = RunOptions(**option_kwargs)
+    return algorithm, options
+
 
 def run_allgather(
     algorithm: str | NeighborhoodAllgatherAlgorithm,
@@ -62,14 +178,9 @@ def run_allgather(
     machine: Machine,
     msg_size: int | str | list[int | str] | tuple,
     *,
-    trace: bool = False,
+    options: RunOptions | None = None,
     payloads: list[Any] | None = None,
-    noise_seed: int = 0,
-    fault_plan: FaultPlan | None = None,
-    fallback: str | None = None,
-    max_sim_time: float | None = None,
-    max_events: int | None = None,
-    **algorithm_kwargs,
+    **legacy_kwargs,
 ) -> AllgatherRun:
     """Simulate one neighborhood allgather and return its latency and data.
 
@@ -80,35 +191,37 @@ def run_allgather(
         ``"distance_halving"``) or a (possibly pre-setup) instance.  Passing
         an instance across calls reuses its communication pattern — message
         size sweeps only pay setup once, as a real MPI application would.
+        Algorithm constructor arguments go through
+        :func:`~repro.collectives.base.get_algorithm` (or a
+        :class:`repro.exec.RunSpec`), not through this function.
     topology, machine, msg_size:
         The virtual topology, the machine model, and the block size ``m``
         in bytes (int or string like ``"64KB"``).  Passing a list/tuple of
         ``topology.n`` sizes selects allgatherv semantics (per-source
         block sizes); see :func:`run_allgatherv`.
-    trace:
-        Collect a per-message :class:`TraceCollector`.
+    options:
+        A :class:`RunOptions` carrying tracing, noise, fault-injection,
+        graceful-degradation, watchdog, and verification settings; defaults
+        to :data:`DEFAULT_OPTIONS`.
     payloads:
         Optional per-rank payload objects; defaults to the rank id, which
         makes delivered-block identity checkable by :func:`verify_allgather`.
-    fault_plan:
-        A seeded :class:`~repro.sim.faults.FaultPlan` to inject link
-        degradation, stragglers, and message loss (with timeout/backoff
-        retransmission) into the run.  Counters land in
-        :attr:`AllgatherRun.fault_stats`.
-    fallback:
-        Graceful degradation: when the requested algorithm's *setup*
-        negotiation cannot complete under ``fault_plan`` (see
-        :meth:`~repro.sim.faults.FaultPlan.setup_survivable`), run this
-        registered algorithm instead; the original name is recorded in
-        :attr:`AllgatherRun.requested_algorithm`.
-    max_sim_time, max_events:
-        Engine watchdog budgets; a run exceeding either raises
-        :class:`~repro.sim.engine.SimTimeoutError`.
+
+    .. deprecated:: 1.1
+        The former bare keywords (``trace``, ``noise_seed``, ``fault_plan``,
+        ``fallback``, ``max_sim_time``, ``max_events``, and
+        ``**algorithm_kwargs``) still work but emit ``DeprecationWarning``;
+        use ``options=`` / ``get_algorithm`` instead.
     """
+    if legacy_kwargs:
+        algorithm, options = _absorb_legacy_kwargs(algorithm, options, legacy_kwargs)
+    opts = options if options is not None else DEFAULT_OPTIONS
     if isinstance(algorithm, str):
-        algorithm = get_algorithm(algorithm, **algorithm_kwargs)
-    elif algorithm_kwargs:
-        raise ValueError("algorithm_kwargs only apply when algorithm is a name")
+        algorithm = get_algorithm(algorithm)
+
+    trace = opts.trace
+    fault_plan = opts.fault_plan
+    fallback = opts.fallback
 
     block_sizes: list[int] | None = None
     if isinstance(msg_size, (list, tuple)):
@@ -157,10 +270,10 @@ def run_allgather(
         n_ranks=topology.n,
         machine=machine,
         trace=collector,
-        noise_seed=noise_seed,
+        noise_seed=opts.noise_seed,
         faults=injector,
-        max_sim_time=max_sim_time,
-        max_events=max_events,
+        max_sim_time=opts.max_sim_time,
+        max_events=opts.max_events,
     )
 
     wall_start = time.perf_counter()
@@ -169,7 +282,7 @@ def run_allgather(
     wall = time.perf_counter() - wall_start
     utilization = engine.fabric.utilization(simulated) if trace and simulated > 0 else None
 
-    return AllgatherRun(
+    run = AllgatherRun(
         algorithm=algorithm.name,
         msg_size=msg_size,
         simulated_time=simulated,
@@ -185,6 +298,9 @@ def run_allgather(
         fault_stats=injector.stats() if injector is not None else None,
         requested_algorithm=requested_algorithm,
     )
+    if opts.verify:
+        verify_allgather(topology, run, expected_payloads=payloads)
+    return run
 
 
 def load_imbalance(run: AllgatherRun) -> float:
@@ -209,14 +325,20 @@ def run_allgatherv(
     topology: DistGraphTopology,
     machine: Machine,
     block_sizes: list[int | str],
-    **kwargs,
+    *,
+    options: RunOptions | None = None,
+    payloads: list[Any] | None = None,
+    **legacy_kwargs,
 ) -> AllgatherRun:
     """``MPI_Neighbor_allgatherv``: per-rank block sizes.
 
     Sugar over :func:`run_allgather` with a size list; every algorithm
     handles variable blocks natively (buffer arithmetic is byte-accurate).
     """
-    return run_allgather(algorithm, topology, machine, list(block_sizes), **kwargs)
+    return run_allgather(
+        algorithm, topology, machine, list(block_sizes),
+        options=options, payloads=payloads, **legacy_kwargs,
+    )
 
 
 def verify_allgather(

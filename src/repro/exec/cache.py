@@ -1,0 +1,159 @@
+"""Content-addressed result cache for simulated runs.
+
+Every cache entry is keyed by the SHA-256 of its :class:`RunSpec`'s
+canonical JSON plus a *code-version salt* — change the package version (or
+the serialization format) and every old entry silently becomes a miss, so
+a stale engine can never replay results the current code would not
+produce.  Entries store the slim run (no payload buffers, no traces) plus
+the spec it answers, and a read validates the stored spec against the
+queried one: a hash collision, a truncated write, or hand-edited JSON is
+detected, counted as *invalidated*, deleted, and recomputed.
+
+The default location is ``~/.cache/repro`` (override with the
+``REPRO_CACHE_DIR`` environment variable or ``cache_dir=`` / the CLI's
+``--cache-dir``).  Writes are atomic (temp file + ``os.replace``), so a
+crashed sweep leaves no half-written entries behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import repro
+from repro.collectives.runner import AllgatherRun
+from repro.exec.serialize import FORMAT_VERSION, run_from_dict, run_to_dict
+from repro.exec.spec import RunSpec
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+def code_salt() -> str:
+    """Version salt mixed into every key (invalidate-on-upgrade)."""
+    return f"repro-{repro.__version__}-fmt{FORMAT_VERSION}"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache's lifetime (reset with the instance)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidated": self.invalidated,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Content-addressed store of slim :class:`AllgatherRun` results."""
+
+    def __init__(self, cache_dir: str | Path | None = None,
+                 salt: str | None = None):
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.salt = salt if salt is not None else code_salt()
+        self.stats = CacheStats()
+
+    # -------------------------------------------------------------- keying
+    def key(self, spec: RunSpec) -> str:
+        """Digest of the spec *and* the code-version salt."""
+        import hashlib
+
+        return hashlib.sha256(
+            (spec.to_json() + "\0" + self.salt).encode()
+        ).hexdigest()
+
+    def path(self, spec: RunSpec) -> Path:
+        key = self.key(spec)
+        # Two-level fanout keeps directory listings sane on large sweeps.
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------- get/put
+    def get(self, spec: RunSpec) -> AllgatherRun | None:
+        """The cached run, or ``None`` (corrupt/stale entries self-delete)."""
+        path = self.path(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self._invalidate(path)
+            return None
+        try:
+            if payload["salt"] != self.salt or payload["spec"] != spec.canonical():
+                raise ValueError("stored entry does not answer this spec")
+            run = run_from_dict(payload["run"])
+        except (KeyError, TypeError, ValueError):
+            self._invalidate(path)
+            return None
+        self.stats.hits += 1
+        return run
+
+    def put(self, spec: RunSpec, run: AllgatherRun) -> Path:
+        """Store (slim) ``run`` as the answer to ``spec``; atomic write."""
+        path = self.path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "salt": self.salt,
+            "spec": spec.canonical(),
+            "run": run_to_dict(run.slim()),
+        }
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return path
+
+    # ------------------------------------------------------------ plumbing
+    def _invalidate(self, path: Path) -> None:
+        self.stats.invalidated += 1
+        self.stats.misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every entry under the cache directory; returns the count."""
+        removed = 0
+        if not self.cache_dir.is_dir():
+            return 0
+        for entry in self.cache_dir.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))

@@ -1,0 +1,253 @@
+"""Parallel sweep orchestrator: fan RunSpecs over a process pool.
+
+:func:`execute` is the one entry point every bench driver funnels
+through.  It takes an ordered list of :class:`RunSpec`, answers as many as
+possible from the :class:`~repro.exec.cache.ResultCache`, fans the rest
+out over ``multiprocessing`` workers, and returns results *in spec order*
+regardless of completion order — so a parallel sweep emits a report
+byte-identical (modulo wall-clock fields) to a serial one.
+
+Guarantees:
+
+* **Determinism** — each spec materializes its own topology/machine from
+  seeds and runs on the deterministic engine, so ``workers=1`` and
+  ``workers=N`` produce bit-identical ``simulated_time`` per spec.
+* **Failure tolerance** — a spec that raises (watchdog, deadlock, failed
+  verification, bad parameters) becomes an error outcome; the sweep
+  continues and the caller decides whether errors are fatal
+  (:meth:`SweepResult.raise_errors`) or data (the resilience study).
+* **Resumability** — completed specs are stored in the cache and appended
+  to an optional JSONL manifest as they finish; re-running an interrupted
+  sweep replays the finished prefix from cache at file-read speed.
+
+Workers receive pickled specs and return plain dicts (slim runs), never
+live simulator objects; the parent process reconstructs
+:class:`AllgatherRun` values through the same serializer the cache uses,
+so the three result paths (computed serially, computed in a worker,
+read from cache) are literally the same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.collectives.runner import AllgatherRun
+from repro.exec.cache import ResultCache
+from repro.exec.serialize import run_from_dict, run_to_dict
+from repro.exec.spec import RunSpec
+
+#: Outcome sources, in the order a resumed sweep prefers them.
+SOURCES = ("cache", "computed", "error")
+
+
+@dataclass
+class SpecOutcome:
+    """What happened to one spec of a sweep."""
+
+    spec: RunSpec
+    run: AllgatherRun | None
+    error: str | None = None
+    source: str = "computed"
+
+    @property
+    def ok(self) -> bool:
+        return self.run is not None
+
+
+@dataclass
+class SweepResult:
+    """Ordered outcomes plus execution statistics for one sweep."""
+
+    outcomes: list[SpecOutcome]
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def runs(self) -> list[AllgatherRun | None]:
+        """Per-spec runs, in spec order (``None`` where a spec failed)."""
+        return [o.run for o in self.outcomes]
+
+    @property
+    def errors(self) -> list[tuple[RunSpec, str]]:
+        return [(o.spec, o.error) for o in self.outcomes if o.error is not None]
+
+    def raise_errors(self) -> "SweepResult":
+        """Fail loudly when any spec failed (figure grids want all cells)."""
+        errors = self.errors
+        if errors:
+            detail = "\n  ".join(
+                f"{spec.label()}: {error}" for spec, error in errors[:10]
+            )
+            more = f"\n  ... and {len(errors) - 10} more" if len(errors) > 10 else ""
+            raise RuntimeError(
+                f"{len(errors)}/{len(self.outcomes)} specs failed:\n  {detail}{more}"
+            )
+        return self
+
+
+def _execute_spec(spec: RunSpec) -> tuple[dict | None, str | None]:
+    """Run one spec; exceptions become ``TypeName: message`` strings."""
+    try:
+        run = spec.run()
+        return run_to_dict(run.slim()), None
+    except BaseException as exc:  # noqa: BLE001 - sweeps must survive workers
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+def _worker(item: tuple[int, RunSpec]) -> tuple[int, dict | None, str | None]:
+    index, spec = item
+    payload, error = _execute_spec(spec)
+    return index, payload, error
+
+
+def default_workers() -> int:
+    """``os.process_cpu_count`` (or ``cpu_count``) with a floor of 1."""
+    counter = getattr(os, "process_cpu_count", os.cpu_count)
+    return max(1, counter() or 1)
+
+
+class _Manifest:
+    """Append-only JSONL progress record (resume bookkeeping)."""
+
+    def __init__(self, path: str | Path | None):
+        self.path = Path(path) if path is not None else None
+        self.seen: set[str] = set()
+        if self.path is not None and self.path.is_file():
+            for line in self.path.read_text().splitlines():
+                try:
+                    self.seen.add(json.loads(line)["digest"])
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue  # torn tail line from an interrupted sweep
+        self._handle = None
+
+    def record(self, outcome: SpecOutcome, digest: str) -> None:
+        if self.path is None:
+            return
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        entry: dict[str, Any] = {
+            "digest": digest,
+            "label": outcome.spec.label(),
+            "status": "ok" if outcome.ok else "error",
+            "source": outcome.source,
+        }
+        if outcome.ok:
+            entry["simulated_time"] = outcome.run.simulated_time
+        else:
+            entry["error"] = outcome.error
+        self._handle.write(json.dumps(entry) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def execute(
+    specs: Sequence[RunSpec],
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    manifest_path: str | Path | None = None,
+    progress: Callable[[int, int, SpecOutcome], None] | None = None,
+) -> SweepResult:
+    """Execute a sweep of specs; see the module docstring for guarantees.
+
+    Parameters
+    ----------
+    specs:
+        The sweep, in the order results should be returned.
+    workers:
+        Process-pool width; ``<= 1`` runs serially in-process (no pool, no
+        pickling — but results still round-trip the serializer so the two
+        modes are bit-identical).
+    cache:
+        Optional :class:`ResultCache`; hits skip simulation entirely and
+        fresh results are stored as they complete.
+    manifest_path:
+        Optional JSONL progress file (appended as outcomes land).
+    progress:
+        Callback ``(done, total, outcome)`` streamed per completed spec.
+    """
+    specs = list(specs)
+    total = len(specs)
+    outcomes: list[SpecOutcome | None] = [None] * total
+    manifest = _Manifest(manifest_path)
+    digests = [spec.digest() for spec in specs] if (
+        cache is not None or manifest.path is not None
+    ) else [""] * total
+    resumed = sum(1 for d in digests if d and d in manifest.seen)
+
+    done = 0
+    wall_start = time.perf_counter()
+
+    def finish(index: int, outcome: SpecOutcome) -> None:
+        nonlocal done
+        outcomes[index] = outcome
+        done += 1
+        manifest.record(outcome, digests[index])
+        if progress is not None:
+            progress(done, total, outcome)
+
+    # Phase 1 — answer what we can from the cache.
+    pending: list[int] = []
+    for i, spec in enumerate(specs):
+        run = cache.get(spec) if cache is not None else None
+        if run is not None:
+            finish(i, SpecOutcome(spec, run, source="cache"))
+        else:
+            pending.append(i)
+
+    # Phase 2 — compute the rest (pool or in-process).
+    def land(index: int, payload: dict | None, error: str | None) -> None:
+        if error is not None:
+            finish(index, SpecOutcome(specs[index], None, error=error,
+                                      source="error"))
+            return
+        run = run_from_dict(payload)
+        if cache is not None:
+            cache.put(specs[index], run)
+        finish(index, SpecOutcome(specs[index], run, source="computed"))
+
+    if workers <= 1 or len(pending) <= 1:
+        for i in pending:
+            payload, error = _execute_spec(specs[i])
+            land(i, payload, error)
+    else:
+        pool_size = min(workers, len(pending))
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            futures = {
+                pool.submit(_worker, (i, specs[i])): i for i in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = futures[future]
+                    try:
+                        _, payload, error = future.result()
+                    except BaseException as exc:  # dead worker / broken pool
+                        payload, error = None, f"{type(exc).__name__}: {exc}"
+                    land(index, payload, error)
+
+    manifest.close()
+    failed = sum(1 for o in outcomes if o is not None and not o.ok)
+    stats: dict[str, Any] = {
+        "total": total,
+        "from_cache": sum(1 for o in outcomes if o.source == "cache"),
+        "computed": sum(1 for o in outcomes if o.source == "computed"),
+        "failed": failed,
+        "workers": max(1, workers),
+        "resumed_manifest_entries": resumed,
+        "wall_seconds": time.perf_counter() - wall_start,
+    }
+    if cache is not None:
+        stats["cache"] = cache.stats.as_dict()
+        stats["cache_dir"] = str(cache.cache_dir)
+    return SweepResult(outcomes=list(outcomes), stats=stats)

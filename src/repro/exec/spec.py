@@ -1,0 +1,249 @@
+"""Declarative run specifications: everything one simulation needs, as data.
+
+A :class:`RunSpec` fully describes one simulated neighborhood allgather —
+topology generator + seed, machine shape, algorithm + constructor kwargs,
+message size, and the :class:`~repro.collectives.runner.RunOptions`
+(fault plan, watchdog budgets, trace level).  Because it is pure frozen
+data it can be hashed, pickled to worker processes, serialized to
+canonical JSON, and content-addressed for the result cache: the same
+digest always denotes the same simulation, and the engine's determinism
+contract guarantees the same ``simulated_time``.
+
+The split mirrors the rest of the codebase: a *spec* is cheap immutable
+data; :meth:`RunSpec.build` / :meth:`RunSpec.run` materialize the heavy
+objects (topology, machine, algorithm pattern) on whichever process
+executes the spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, TYPE_CHECKING
+
+from repro.collectives.runner import DEFAULT_OPTIONS, RunOptions
+from repro.utils.sizes import format_size, parse_size
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.machine import Machine
+    from repro.collectives.base import NeighborhoodAllgatherAlgorithm
+    from repro.collectives.runner import AllgatherRun
+    from repro.topology.graph import DistGraphTopology
+
+#: Topology generators a spec can name (kind -> required builder).
+TOPOLOGY_KINDS = ("random", "moore", "cartesian", "scale_free")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A virtual topology as generator name + parameters (not as a graph).
+
+    Kinds and the fields they read:
+
+    * ``"random"`` — Erdős–Rényi; ``n``, ``density``, ``seed``.
+    * ``"moore"`` — Moore neighborhood; ``n``, ``radius``, ``dims``.
+    * ``"cartesian"`` — Von Neumann stencil; ``n``, ``dims``.
+    * ``"scale_free"`` — preferential attachment; ``n``,
+      ``edges_per_rank``, ``seed``.
+    """
+
+    kind: str
+    n: int
+    density: float | None = None
+    seed: int = 0
+    radius: int = 1
+    dims: int = 2
+    edges_per_rank: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology kind {self.kind!r}; available: {TOPOLOGY_KINDS}"
+            )
+        if self.kind == "random" and self.density is None:
+            raise ValueError("random topologies require a density")
+
+    def canonical(self) -> dict:
+        """Only the fields the kind actually consumes (stable digests)."""
+        base: dict[str, Any] = {"kind": self.kind, "n": self.n}
+        if self.kind == "random":
+            base.update(density=self.density, seed=self.seed)
+        elif self.kind == "moore":
+            base.update(radius=self.radius, dims=self.dims)
+        elif self.kind == "cartesian":
+            base.update(dims=self.dims)
+        elif self.kind == "scale_free":
+            base.update(edges_per_rank=self.edges_per_rank, seed=self.seed)
+        return base
+
+    def build(self) -> "DistGraphTopology":
+        """Materialize the graph (deterministic given the spec)."""
+        if self.kind == "random":
+            from repro.topology.random_graphs import erdos_renyi_topology
+
+            return erdos_renyi_topology(self.n, self.density, seed=self.seed)
+        if self.kind == "moore":
+            from repro.topology.moore import moore_topology
+
+            return moore_topology(self.n, r=self.radius, d=self.dims)
+        if self.kind == "cartesian":
+            from repro.topology.cartesian import cartesian_topology
+
+            return cartesian_topology(self.n, d=self.dims)
+        from repro.topology.scale_free import scale_free_topology
+
+        return scale_free_topology(self.n, edges_per_rank=self.edges_per_rank,
+                                   seed=self.seed)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A Niagara-like machine as shape parameters (not as a Machine).
+
+    ``placement_seed`` selects one draw of the scheduler lottery
+    (:meth:`~repro.cluster.machine.Machine.random_placement`); ``None``
+    keeps the canonical block placement.
+    """
+
+    nodes: int
+    sockets_per_node: int = 2
+    ranks_per_socket: int = 8
+    placement_seed: int | None = None
+
+    @property
+    def n_ranks(self) -> int:
+        return self.nodes * self.sockets_per_node * self.ranks_per_socket
+
+    @classmethod
+    def for_ranks(
+        cls,
+        n_ranks: int,
+        ranks_per_socket: int = 8,
+        sockets_per_node: int = 2,
+        placement_seed: int | None = None,
+    ) -> "MachineSpec":
+        """Spec with exactly ``n_ranks`` (mirrors ``bench_machine``)."""
+        per_node = sockets_per_node * ranks_per_socket
+        if n_ranks % per_node:
+            raise ValueError(
+                f"n_ranks={n_ranks} does not fill {per_node}-rank nodes; "
+                "pick a multiple"
+            )
+        return cls(
+            nodes=n_ranks // per_node,
+            sockets_per_node=sockets_per_node,
+            ranks_per_socket=ranks_per_socket,
+            placement_seed=placement_seed,
+        )
+
+    def canonical(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "sockets_per_node": self.sockets_per_node,
+            "ranks_per_socket": self.ranks_per_socket,
+            "placement_seed": self.placement_seed,
+        }
+
+    def build(self) -> "Machine":
+        from repro.cluster.machine import Machine
+
+        machine = Machine.niagara_like(
+            nodes=self.nodes,
+            sockets_per_node=self.sockets_per_node,
+            ranks_per_socket=self.ranks_per_socket,
+        )
+        if self.placement_seed is not None:
+            machine = machine.random_placement(seed=self.placement_seed)
+        return machine
+
+
+def _normalize_msg_size(msg_size) -> int | tuple[int, ...]:
+    """Bytes as int (or tuple of ints for allgatherv block lists)."""
+    if isinstance(msg_size, (list, tuple)):
+        return tuple(parse_size(s) for s in msg_size)
+    return parse_size(msg_size)
+
+
+def _normalize_kwargs(kwargs) -> tuple[tuple[str, Any], ...]:
+    """Sorted (key, value) pairs — hashable and canonically ordered."""
+    if isinstance(kwargs, dict):
+        items = kwargs.items()
+    else:
+        items = tuple(kwargs)
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully described simulation (see module docstring).
+
+    ``algorithm_kwargs`` accepts a dict at construction time and is
+    normalized to sorted ``(key, value)`` pairs so equal specs hash and
+    serialize identically regardless of keyword order.
+    """
+
+    algorithm: str
+    topology: TopologySpec
+    machine: MachineSpec
+    msg_size: int | tuple[int, ...]
+    algorithm_kwargs: tuple[tuple[str, Any], ...] = ()
+    options: RunOptions = field(default=DEFAULT_OPTIONS)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "msg_size", _normalize_msg_size(self.msg_size))
+        object.__setattr__(
+            self, "algorithm_kwargs", _normalize_kwargs(self.algorithm_kwargs)
+        )
+
+    # ------------------------------------------------------------- identity
+    def canonical(self) -> dict:
+        """Fully resolved JSON-safe description; field order is stable."""
+        return {
+            "algorithm": self.algorithm,
+            "algorithm_kwargs": [list(pair) for pair in self.algorithm_kwargs],
+            "topology": self.topology.canonical(),
+            "machine": self.machine.canonical(),
+            "msg_size": (
+                list(self.msg_size) if isinstance(self.msg_size, tuple)
+                else self.msg_size
+            ),
+            "options": self.options.canonical(),
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization: sorted keys, no whitespace."""
+        return json.dumps(self.canonical(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON — the spec's content address."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+    def label(self) -> str:
+        size = (
+            "v" + format_size(max(self.msg_size, default=0))
+            if isinstance(self.msg_size, tuple)
+            else format_size(self.msg_size)
+        )
+        return (
+            f"{self.algorithm} {self.topology.kind} n={self.topology.n} "
+            f"m={size}"
+        )
+
+    # ------------------------------------------------------------ execution
+    def build(self) -> "tuple[NeighborhoodAllgatherAlgorithm, DistGraphTopology, Machine]":
+        """Materialize (algorithm instance, topology, machine)."""
+        from repro.collectives.base import get_algorithm
+
+        algorithm = get_algorithm(self.algorithm, **dict(self.algorithm_kwargs))
+        return algorithm, self.topology.build(), self.machine.build()
+
+    def run(self) -> "AllgatherRun":
+        """Simulate this spec (deterministic; safe in worker processes)."""
+        from repro.collectives.runner import run_allgather
+
+        algorithm, topology, machine = self.build()
+        msg = list(self.msg_size) if isinstance(self.msg_size, tuple) else self.msg_size
+        return run_allgather(algorithm, topology, machine, msg,
+                             options=self.options)

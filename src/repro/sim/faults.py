@@ -227,6 +227,88 @@ class FaultPlan:
             parts.append(f"loss p<={self.peak_loss_probability():g}")
         return "clean" if not parts else ", ".join(parts)
 
+    # ------------------------------------------------------------- (de)serde
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe form (used by :mod:`repro.exec` spec digests).
+
+        ``math.inf`` windows serialize as the string ``"inf"`` so the output
+        round-trips through strict JSON encoders.
+        """
+        def window(x: float) -> float | str:
+            return "inf" if x == math.inf else x
+
+        return {
+            "link_faults": [
+                {
+                    "link_class": f.link_class.name if f.link_class else None,
+                    "alpha_factor": f.alpha_factor,
+                    "beta_factor": f.beta_factor,
+                    "start": f.start,
+                    "end": window(f.end),
+                }
+                for f in self.link_faults
+            ],
+            "stragglers": [
+                {
+                    "rank": s.rank,
+                    "compute_factor": s.compute_factor,
+                    "startup_delay": s.startup_delay,
+                }
+                for s in self.stragglers
+            ],
+            "losses": [
+                {
+                    "probability": l.probability,
+                    "link_class": l.link_class.name if l.link_class else None,
+                    "start": l.start,
+                    "end": window(l.end),
+                }
+                for l in self.losses
+            ],
+            "retry": {
+                "timeout": self.retry.timeout,
+                "backoff": self.retry.backoff,
+                "max_retries": self.retry.max_retries,
+            },
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict` (exact round-trip)."""
+        def window(x) -> float:
+            return math.inf if x == "inf" else float(x)
+
+        def link(name) -> LinkClass | None:
+            return LinkClass[name] if name is not None else None
+
+        return cls(
+            link_faults=tuple(
+                LinkFault(
+                    link_class=link(f["link_class"]),
+                    alpha_factor=f["alpha_factor"],
+                    beta_factor=f["beta_factor"],
+                    start=f["start"],
+                    end=window(f["end"]),
+                )
+                for f in data.get("link_faults", ())
+            ),
+            stragglers=tuple(
+                Straggler(**s) for s in data.get("stragglers", ())
+            ),
+            losses=tuple(
+                MessageLoss(
+                    probability=l["probability"],
+                    link_class=link(l["link_class"]),
+                    start=l["start"],
+                    end=window(l["end"]),
+                )
+                for l in data.get("losses", ())
+            ),
+            retry=RetryPolicy(**data["retry"]) if "retry" in data else RetryPolicy(),
+            seed=data.get("seed", 0),
+        )
+
 
 class FaultInjector:
     """Per-run runtime state for one :class:`FaultPlan`.

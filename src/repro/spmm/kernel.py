@@ -19,7 +19,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.cluster.machine import Machine
-from repro.collectives.base import NeighborhoodAllgatherAlgorithm
+from repro.collectives.base import NeighborhoodAllgatherAlgorithm, get_algorithm
 from repro.collectives.runner import run_allgather
 from repro.topology.from_matrix import BlockRowPartition, topology_from_sparse
 from repro.utils.validation import check_positive
@@ -71,9 +71,11 @@ def run_spmm(
     msg_size = max(block_sizes)
     payloads = [Y[slice(*partition.bounds(r))] for r in range(n_ranks)]
 
-    run = run_allgather(
-        algorithm, topology, machine, block_sizes, payloads=payloads, **algorithm_kwargs
-    )
+    if isinstance(algorithm, str):
+        algorithm = get_algorithm(algorithm, **algorithm_kwargs)
+    elif algorithm_kwargs:
+        raise ValueError("algorithm_kwargs only apply when algorithm is a name")
+    run = run_allgather(algorithm, topology, machine, block_sizes, payloads=payloads)
 
     # Local multiply per rank, using own stripe + received neighbor stripes.
     Z = np.zeros((n, y_cols))

@@ -49,3 +49,51 @@ class TestBenchMachine:
             scale = get_scale(name)
             machine = bench_machine(scale.ranks, scale.ranks_per_socket)
             assert machine.spec.n_ranks == scale.ranks
+
+
+class TestSweepConfig:
+    def test_library_default_is_serial_and_cacheless(self):
+        from repro.bench.config import SweepConfig
+
+        cfg = SweepConfig()
+        assert cfg.workers == 1
+        assert cfg.cache() is None
+
+    def test_cache_is_shared_across_calls(self, tmp_path):
+        from pathlib import Path as P
+
+        from repro.bench.config import SweepConfig
+
+        cfg = SweepConfig(cache_dir=tmp_path, use_cache=True)
+        assert cfg.cache() is cfg.cache()
+        assert cfg.cache().cache_dir == P(tmp_path)
+
+    def test_resolve_scale_prefers_explicit_argument(self):
+        from repro.bench.config import SweepConfig, get_scale
+
+        small, medium = get_scale("small"), get_scale("medium")
+        assert SweepConfig(scale=small).resolve_scale(medium) is medium
+        assert SweepConfig(scale=small).resolve_scale() is small
+        assert SweepConfig().resolve_scale().name == "small"
+
+    def test_resolve_seed(self):
+        from repro.bench.config import SweepConfig
+
+        assert SweepConfig().resolve_seed(23) == 23
+        assert SweepConfig(seed=7).resolve_seed(23) == 7
+
+    def test_run_routes_through_orchestrator(self, tmp_path):
+        from repro.bench.config import SweepConfig
+        from repro.exec import MachineSpec, RunSpec, TopologySpec
+
+        spec = RunSpec(
+            "naive",
+            TopologySpec("random", 8, density=0.5, seed=1),
+            MachineSpec.for_ranks(8, ranks_per_socket=2),
+            64,
+        )
+        cfg = SweepConfig(cache_dir=tmp_path, use_cache=True)
+        first = cfg.run([spec])
+        second = cfg.run([spec])
+        assert first.runs[0].simulated_time == second.runs[0].simulated_time
+        assert second.stats["from_cache"] == 1

@@ -58,3 +58,27 @@ class TestSpeedupOver:
         b = sweep_latency("naive", small_topology, small_machine, ("128",))
         with pytest.raises(ValueError, match="size mismatch"):
             speedup_over(a, b)
+
+
+class TestSmokeSweep:
+    def test_cold_then_warm_answers_from_cache(self, tmp_path):
+        from repro.bench.config import SweepConfig
+        from repro.bench.sweep import smoke_sweep
+
+        cold = smoke_sweep(SweepConfig(cache_dir=tmp_path, use_cache=True))
+        warm = smoke_sweep(
+            SweepConfig(cache_dir=tmp_path, use_cache=True, workers=2)
+        )
+        assert cold["execution"]["computed"] == cold["execution"]["total"]
+        assert warm["execution"]["from_cache"] == warm["execution"]["total"]
+        assert warm["execution"]["cache"]["hit_rate"] == 1.0
+        # The determinism contract: cached records == computed records.
+        assert warm["records"] == cold["records"]
+
+    def test_cacheless_run_computes_everything(self):
+        from repro.bench.config import SweepConfig
+        from repro.bench.sweep import smoke_sweep
+
+        report = smoke_sweep(SweepConfig())
+        assert report["execution"]["computed"] == report["execution"]["total"]
+        assert "cache" not in report["execution"]

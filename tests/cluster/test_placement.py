@@ -6,7 +6,7 @@ import pytest
 
 from repro.cluster import DragonflyPlus, Machine, PermutedNodes
 from repro.cluster.spec import LinkClass
-from repro.collectives import run_allgather, verify_allgather
+from repro.collectives import RunOptions, run_allgather, verify_allgather
 from repro.sim.fabric import Fabric
 from repro.topology import erdos_renyi_topology
 
@@ -105,7 +105,8 @@ class TestJitter:
         noisy = self.make_noisy(small_machine, 0.4)
         topo = erdos_renyi_topology(noisy.spec.n_ranks, 0.4, seed=53)
         for alg in ("naive", "common_neighbor", "distance_halving"):
-            run = run_allgather(alg, topo, noisy, 256, noise_seed=11)
+            run = run_allgather(alg, topo, noisy, 256,
+                                options=RunOptions(noise_seed=11))
             verify_allgather(topo, run)
 
     def test_negative_jitter_rejected(self, small_machine):

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.collectives import get_algorithm, run_allgather, verify_allgather
+from repro.collectives import (
+    RunOptions,
+    get_algorithm,
+    run_allgather,
+    verify_allgather,
+)
 from repro.topology import DistGraphTopology, erdos_renyi_topology, moore_topology
 
 
@@ -33,8 +38,8 @@ class TestCorrectness:
 class TestMessageBehaviour:
     def test_fewer_off_socket_messages_than_naive(self, small_machine):
         topo = erdos_renyi_topology(small_machine.spec.n_ranks, 0.5, seed=23)
-        naive = run_allgather("naive", topo, small_machine, 64, trace=True)
-        dh = run_allgather("distance_halving", topo, small_machine, 64, trace=True)
+        naive = run_allgather("naive", topo, small_machine, 64, options=RunOptions(trace=True))
+        dh = run_allgather("distance_halving", topo, small_machine, 64, options=RunOptions(trace=True))
         assert dh.trace.off_socket_messages() < naive.trace.off_socket_messages()
 
     def test_off_socket_messages_bounded_by_model(self, small_machine):
@@ -42,7 +47,7 @@ class TestMessageBehaviour:
         socket... plus direct leftovers; with a dense graph leftovers are
         rare, so the max per-rank send count stays near the level count."""
         topo = erdos_renyi_topology(small_machine.spec.n_ranks, 0.9, seed=24)
-        dh = run_allgather("distance_halving", topo, small_machine, 64, trace=True)
+        dh = run_allgather("distance_halving", topo, small_machine, 64, options=RunOptions(trace=True))
         levels = dh.setup_stats.extras["levels"]
         L = small_machine.spec.ranks_per_socket
         # halving sends + final phase (<= L-1 socket peers + few leftovers)
@@ -53,7 +58,7 @@ class TestMessageBehaviour:
         (the paper's worst-case doubling)."""
         topo = erdos_renyi_topology(small_machine.spec.n_ranks, 1.0, seed=0)
         m = 1000
-        dh = run_allgather("distance_halving", topo, small_machine, m, trace=True)
+        dh = run_allgather("distance_halving", topo, small_machine, m, options=RunOptions(trace=True))
         by_tag = {}
         for rec in dh.trace.records:
             if rec.tag < 100:  # halving steps only
@@ -112,7 +117,7 @@ class TestLoadBalance:
 
         from repro.collectives import run_allgather
 
-        run = run_allgather(alg, topo, machine, 64, trace=True)
+        run = run_allgather(alg, topo, machine, 64, options=RunOptions(trace=True))
         sends = np.array([run.trace.sends_by_rank.get(r, 0) for r in range(topo.n)])
         return sends
 
@@ -138,12 +143,14 @@ class TestLoadBalance:
 class TestStopRanksVariant:
     def test_stop_ranks_one_correct(self, small_machine, small_topology):
         run = run_allgather(
-            "distance_halving", small_topology, small_machine, 128, stop_ranks=1
+            get_algorithm("distance_halving", stop_ranks=1),
+            small_topology, small_machine, 128
         )
         verify_allgather(small_topology, run)
 
     def test_protocol_selection_correct(self, small_machine, small_topology):
         run = run_allgather(
-            "distance_halving", small_topology, small_machine, 128, selection="protocol"
+            get_algorithm("distance_halving", selection="protocol"),
+            small_topology, small_machine, 128
         )
         verify_allgather(small_topology, run)

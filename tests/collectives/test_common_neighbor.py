@@ -29,14 +29,14 @@ class TestMessageCombining:
     def test_fewer_messages_than_naive_on_dense_graph(self, small_machine):
         topo = erdos_renyi_topology(small_machine.spec.n_ranks, 0.6, seed=4)
         naive = run_allgather("naive", topo, small_machine, 64)
-        cn = run_allgather("common_neighbor", topo, small_machine, 64, k=4)
+        cn = run_allgather(get_algorithm("common_neighbor", k=4), topo, small_machine, 64)
         assert cn.messages_sent < naive.messages_sent
 
     def test_k1_degenerates_to_naive_message_count(self, small_machine, small_topology):
         """K=1 means singleton groups: no combining, exactly one message per
         off-self edge, like the naive algorithm."""
         naive = run_allgather("naive", small_topology, small_machine, 64)
-        cn = run_allgather("common_neighbor", small_topology, small_machine, 64, k=1)
+        cn = run_allgather(get_algorithm("common_neighbor", k=1), small_topology, small_machine, 64)
         assert cn.messages_sent == naive.messages_sent
 
     def test_single_source_targets_keep_sender(self, small_machine):
@@ -76,13 +76,13 @@ class TestMessageCombining:
 class TestCorrectness:
     @pytest.mark.parametrize("k", [1, 2, 4, 8])
     def test_all_k_values_correct(self, small_machine, small_topology, k):
-        run = run_allgather("common_neighbor", small_topology, small_machine, 128, k=k)
+        run = run_allgather(get_algorithm("common_neighbor", k=k), small_topology, small_machine, 128)
         verify_allgather(small_topology, run)
 
     @pytest.mark.parametrize("density", [0.05, 0.5, 1.0])
     def test_densities(self, small_machine, density):
         topo = erdos_renyi_topology(small_machine.spec.n_ranks, density, seed=6)
-        run = run_allgather("common_neighbor", topo, small_machine, 64, k=4)
+        run = run_allgather(get_algorithm("common_neighbor", k=4), topo, small_machine, 64)
         verify_allgather(topo, run)
 
     def test_setup_counts_matrix_a_exchange(self, small_machine, small_topology):

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.collectives import get_algorithm, run_allgather, verify_allgather
+from repro.collectives import (
+    RunOptions,
+    get_algorithm,
+    run_allgather,
+    verify_allgather,
+)
 from repro.topology import DistGraphTopology, erdos_renyi_topology, moore_topology
 
 
@@ -66,8 +71,8 @@ class TestCorrectness:
     @pytest.mark.parametrize("leaders", [1, 2, 4])
     def test_random_graphs(self, small_machine, density, leaders):
         topo = erdos_renyi_topology(small_machine.spec.n_ranks, density, seed=81)
-        run = run_allgather("hierarchical", topo, small_machine, 256,
-                            leaders_per_node=leaders)
+        alg = get_algorithm("hierarchical", leaders_per_node=leaders)
+        run = run_allgather(alg, topo, small_machine, 256)
         verify_allgather(topo, run)
 
     def test_moore(self, small_machine):
@@ -94,8 +99,8 @@ class TestPerformanceShape:
     def test_combines_cross_node_messages(self, small_machine):
         """Dense graph: leader exchange sends far fewer network messages."""
         topo = erdos_renyi_topology(small_machine.spec.n_ranks, 0.6, seed=82)
-        naive = run_allgather("naive", topo, small_machine, 64, trace=True)
-        hier = run_allgather("hierarchical", topo, small_machine, 64, trace=True)
+        naive = run_allgather("naive", topo, small_machine, 64, options=RunOptions(trace=True))
+        hier = run_allgather("hierarchical", topo, small_machine, 64, options=RunOptions(trace=True))
         assert hier.trace.off_socket_messages() < naive.trace.off_socket_messages()
 
     def test_wins_on_dense_graphs(self, medium_machine):

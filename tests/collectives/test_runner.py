@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.collectives import get_algorithm, run_allgather, verify_allgather
+from repro.collectives import (
+    RunOptions,
+    get_algorithm,
+    run_allgather,
+    verify_allgather,
+)
 from repro.topology import DistGraphTopology, erdos_renyi_topology
 
 
@@ -28,16 +33,17 @@ class TestRunAllgather:
 
     def test_kwargs_with_instance_rejected(self, small_machine, small_topology):
         alg = get_algorithm("naive")
-        with pytest.raises(ValueError, match="algorithm_kwargs"):
+        with pytest.warns(DeprecationWarning), \
+                pytest.raises(ValueError, match="algorithm_kwargs"):
             run_allgather(alg, small_topology, small_machine, 64, k=4)
 
     def test_trace_collection(self, small_machine, small_topology):
-        run = run_allgather("naive", small_topology, small_machine, 512, trace=True)
+        run = run_allgather("naive", small_topology, small_machine, 512, options=RunOptions(trace=True))
         assert run.trace is not None
         assert run.trace.total_messages == run.messages_sent
 
     def test_utilization_with_trace(self, small_machine, small_topology):
-        run = run_allgather("naive", small_topology, small_machine, 512, trace=True)
+        run = run_allgather("naive", small_topology, small_machine, 512, options=RunOptions(trace=True))
         assert run.utilization is not None
         ports = run.utilization["send_ports"]
         assert ports and all(0.0 <= u <= 1.0 for u in ports.values())
@@ -154,3 +160,54 @@ class TestDegenerateTopologies:
     def test_zero_byte_messages(self, small_machine, small_topology, name):
         run = run_allgather(name, small_topology, small_machine, 0)
         verify_allgather(small_topology, run)
+
+
+class TestLegacyKeywordShim:
+    """The pre-RunOptions keyword surface still works, with a warning."""
+
+    def test_option_keyword_warns_and_matches_options_path(
+        self, small_machine, small_topology
+    ):
+        with pytest.warns(DeprecationWarning, match="trace"):
+            legacy = run_allgather(
+                "naive", small_topology, small_machine, 64, trace=True
+            )
+        modern = run_allgather(
+            "naive", small_topology, small_machine, 64,
+            options=RunOptions(trace=True),
+        )
+        assert legacy.trace is not None
+        assert legacy.simulated_time == modern.simulated_time
+
+    def test_algorithm_kwarg_warns_and_matches_get_algorithm(
+        self, small_machine, small_topology
+    ):
+        with pytest.warns(DeprecationWarning, match="algorithm kwarg"):
+            legacy = run_allgather(
+                "common_neighbor", small_topology, small_machine, 64, k=2
+            )
+        modern = run_allgather(
+            get_algorithm("common_neighbor", k=2),
+            small_topology, small_machine, 64,
+        )
+        assert legacy.simulated_time == modern.simulated_time
+
+    def test_mixing_options_and_legacy_keywords_rejected(
+        self, small_machine, small_topology
+    ):
+        with pytest.warns(DeprecationWarning), \
+                pytest.raises(ValueError, match="not both"):
+            run_allgather(
+                "naive", small_topology, small_machine, 64,
+                options=RunOptions(), noise_seed=3,
+            )
+
+    def test_modern_call_is_warning_free(self, small_machine, small_topology):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_allgather(
+                "naive", small_topology, small_machine, 64,
+                options=RunOptions(noise_seed=2),
+            )

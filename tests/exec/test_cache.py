@@ -1,0 +1,96 @@
+"""Content-addressed cache: hits are exact, corruption self-heals."""
+
+import json
+
+from repro.exec import MachineSpec, ResultCache, RunSpec, TopologySpec
+from repro.exec.cache import CACHE_DIR_ENV, code_salt, default_cache_dir
+
+
+def make_spec(**overrides) -> RunSpec:
+    base = dict(
+        algorithm="naive",
+        topology=TopologySpec("random", 16, density=0.4, seed=11),
+        machine=MachineSpec.for_ranks(16, ranks_per_socket=4),
+        msg_size=512,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestHitMiss:
+    def test_cold_lookup_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(make_spec()) is None
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+
+    def test_hit_is_bit_identical_including_wall_clock(self, tmp_path):
+        # The cached entry IS the original measurement; even wall_time
+        # comes back verbatim (report writers may strip it, the cache
+        # does not).
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        run = spec.run().slim()
+        cache.put(spec, run)
+        cached = cache.get(spec)
+        assert cached == run
+        assert cached.simulated_time == run.simulated_time
+        assert cached.wall_time == run.wall_time
+        assert cache.stats.hits == 1
+
+    def test_different_spec_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, spec.run().slim())
+        assert cache.get(make_spec(msg_size=1024)) is None
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for size in (64, 128, 256):
+            spec = make_spec(msg_size=size)
+            cache.put(spec, spec.run().slim())
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestInvalidation:
+    def test_corrupted_entry_recomputes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        path = cache.put(spec, spec.run().slim())
+        path.write_text("{ not json")
+        assert cache.get(spec) is None
+        assert cache.stats.invalidated == 1
+        assert not path.exists()  # self-deleted; next put recomputes it
+
+    def test_tampered_spec_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        path = cache.put(spec, spec.run().slim())
+        payload = json.loads(path.read_text())
+        payload["spec"]["msg_size"] = 999
+        path.write_text(json.dumps(payload))
+        assert cache.get(spec) is None
+        assert cache.stats.invalidated == 1
+
+    def test_stale_salt_invalidated(self, tmp_path):
+        spec = make_spec()
+        old = ResultCache(tmp_path, salt="repro-0.0-fmt0")
+        old.put(spec, spec.run().slim())
+        new = ResultCache(tmp_path, salt="repro-9.9-fmt1")
+        # Different salt -> different key -> plain miss, never a misread.
+        assert new.get(spec) is None
+        assert new.stats.misses == 1
+
+
+class TestConfiguration:
+    def test_env_var_overrides_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env-cache"))
+        assert default_cache_dir() == tmp_path / "env-cache"
+
+    def test_salt_carries_version_and_format(self):
+        import repro
+        from repro.exec.serialize import FORMAT_VERSION
+
+        assert repro.__version__ in code_salt()
+        assert f"fmt{FORMAT_VERSION}" in code_salt()

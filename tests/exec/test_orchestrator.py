@@ -1,0 +1,146 @@
+"""The orchestrator's contract: parallel == serial == cached, bit for bit."""
+
+import json
+
+import pytest
+
+from repro.collectives.runner import RunOptions
+from repro.exec import (
+    WALL_CLOCK_FIELDS,
+    MachineSpec,
+    ResultCache,
+    RunSpec,
+    TopologySpec,
+    execute,
+    run_to_dict,
+)
+
+
+def grid(sizes=(64, 1024, 16384), algorithms=("naive", "distance_halving")):
+    topology = TopologySpec("random", 16, density=0.4, seed=11)
+    machine = MachineSpec.for_ranks(16, ranks_per_socket=4)
+    return [
+        RunSpec(alg, topology, machine, size)
+        for alg in algorithms
+        for size in sizes
+    ]
+
+
+def report(result, strip_wall=False):
+    """Spec-ordered serialized runs — the bytes a figure would archive.
+
+    ``strip_wall`` drops the host-measured wall-clock fields, which is the
+    determinism contract's boundary: everything else must be bit-identical
+    across serial/parallel/cached execution.
+    """
+    rows = [run_to_dict(run) for run in result.runs]
+    if strip_wall:
+        for row in rows:
+            for field in WALL_CLOCK_FIELDS:
+                row.pop(field)
+            row["setup_stats"].pop("wall_time")
+    return json.dumps(rows)
+
+
+class TestOrdering:
+    def test_results_in_spec_order(self):
+        specs = grid()
+        result = execute(specs)
+        assert [o.spec for o in result.outcomes] == specs
+        for spec, run in zip(specs, result.runs):
+            assert run.msg_size == spec.msg_size
+
+    def test_serial_and_parallel_reports_identical(self):
+        specs = grid()
+        serial = report(execute(specs, workers=1), strip_wall=True)
+        parallel = report(execute(specs, workers=4), strip_wall=True)
+        assert serial == parallel
+
+    def test_cached_rerun_report_identical(self, tmp_path):
+        specs = grid()
+        cache = ResultCache(tmp_path)
+        cold = execute(specs, cache=cache)
+        warm = execute(specs, cache=ResultCache(tmp_path))
+        assert report(cold) == report(warm)
+        assert warm.stats["from_cache"] == len(specs)
+        assert warm.stats["computed"] == 0
+        assert warm.stats["cache"]["hit_rate"] == 1.0
+
+    def test_parallel_populates_cache(self, tmp_path):
+        specs = grid(sizes=(64, 256, 1024, 4096))
+        cache = ResultCache(tmp_path)
+        execute(specs, workers=2, cache=cache)
+        assert len(cache) == len(specs)
+
+
+class TestFailureTolerance:
+    def test_bad_spec_becomes_error_outcome(self):
+        good = grid(sizes=(64,))
+        bad = RunSpec(
+            "common_neighbor",
+            TopologySpec("random", 16, density=0.4, seed=11),
+            MachineSpec.for_ranks(16, ranks_per_socket=4),
+            64,
+            algorithm_kwargs={"k": 0},  # invalid K
+        )
+        result = execute([*good, bad])
+        assert [o.ok for o in result.outcomes] == [True] * len(good) + [False]
+        assert result.stats["failed"] == 1
+        with pytest.raises(RuntimeError, match="1/3 specs failed"):
+            result.raise_errors()
+
+    def test_watchdog_error_is_prefixed_by_type(self):
+        strangled = RunSpec(
+            "naive",
+            TopologySpec("random", 16, density=0.4, seed=11),
+            MachineSpec.for_ranks(16, ranks_per_socket=4),
+            64,
+            options=RunOptions(max_events=1),
+        )
+        (outcome,) = execute([strangled]).outcomes
+        assert not outcome.ok
+        assert outcome.error.startswith("SimTimeoutError: ")
+
+    def test_errors_are_not_cached(self, tmp_path):
+        bad = RunSpec(
+            "common_neighbor",
+            TopologySpec("random", 16, density=0.4, seed=11),
+            MachineSpec.for_ranks(16, ranks_per_socket=4),
+            64,
+            algorithm_kwargs={"k": 0},
+        )
+        cache = ResultCache(tmp_path)
+        execute([bad], cache=cache)
+        assert len(cache) == 0
+
+
+class TestManifest:
+    def test_manifest_records_every_outcome(self, tmp_path):
+        specs = grid(sizes=(64, 1024))
+        manifest = tmp_path / "sweep.jsonl"
+        execute(specs, manifest_path=manifest)
+        entries = [json.loads(x) for x in manifest.read_text().splitlines()]
+        assert len(entries) == len(specs)
+        assert {e["status"] for e in entries} == {"ok"}
+        assert {e["digest"] for e in entries} == {s.digest() for s in specs}
+
+    def test_resume_counts_prior_entries(self, tmp_path):
+        specs = grid(sizes=(64, 1024))
+        manifest = tmp_path / "sweep.jsonl"
+        execute(specs, manifest_path=manifest)
+        again = execute(specs, manifest_path=manifest)
+        assert again.stats["resumed_manifest_entries"] == len(specs)
+
+    def test_torn_tail_line_tolerated(self, tmp_path):
+        manifest = tmp_path / "sweep.jsonl"
+        manifest.write_text('{"digest": "abc", "status": "ok"}\n{"dig')
+        result = execute(grid(sizes=(64,)), manifest_path=manifest)
+        assert result.stats["failed"] == 0
+
+
+def test_progress_callback_streams():
+    seen = []
+    specs = grid(sizes=(64, 1024))
+    execute(specs, progress=lambda done, total, outcome: seen.append((done, total)))
+    total = len(specs)
+    assert seen == [(i, total) for i in range(1, total + 1)]

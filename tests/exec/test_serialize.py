@@ -1,0 +1,72 @@
+"""Slim-run serialization round-trips bit-for-bit (modulo nothing)."""
+
+import json
+
+import pytest
+
+from repro.collectives import RunOptions, run_allgather
+from repro.exec import run_from_dict, run_to_dict
+from repro.exec.serialize import FORMAT_VERSION
+from repro.sim.faults import get_profile
+from repro.topology import erdos_renyi_topology
+
+
+def make_run(small_machine, small_topology, **option_kwargs):
+    return run_allgather(
+        "distance_halving", small_topology, small_machine, "2KB",
+        options=RunOptions(**option_kwargs),
+    )
+
+
+class TestRoundTrip:
+    def test_slim_round_trip_is_exact(self, small_machine, small_topology):
+        run = make_run(small_machine, small_topology)
+        restored = run_from_dict(run_to_dict(run.slim()))
+        assert restored == run.slim()
+
+    def test_round_trip_survives_json_text(self, small_machine, small_topology):
+        # The cache stores text, not dicts: floats must survive the full
+        # dump/load cycle bit-for-bit (shortest-repr round-trip).
+        run = make_run(small_machine, small_topology).slim()
+        text = json.dumps(run_to_dict(run))
+        assert run_from_dict(json.loads(text)) == run
+
+    def test_fault_run_round_trips(self, small_machine, small_topology):
+        plan = get_profile("lossy", small_topology.n, seed=3)
+        run = make_run(
+            small_machine, small_topology, fault_plan=plan, fallback="naive"
+        ).slim()
+        restored = run_from_dict(run_to_dict(run))
+        assert restored.fault_stats == run.fault_stats
+        assert restored == run
+
+    def test_allgatherv_block_sizes_survive(self, small_machine):
+        topo = erdos_renyi_topology(small_machine.spec.n_ranks, 0.3, seed=5)
+        sizes = [64 * (1 + r % 3) for r in range(topo.n)]
+        run = run_allgather("naive", topo, small_machine, sizes).slim()
+        restored = run_from_dict(run_to_dict(run))
+        assert restored.block_sizes == run.block_sizes
+        assert restored == run
+
+
+class TestGuards:
+    def test_traced_run_rejected(self, small_machine, small_topology):
+        run = make_run(small_machine, small_topology, trace=True)
+        with pytest.raises(ValueError, match="slim"):
+            run_to_dict(run)
+
+    def test_unknown_format_rejected(self, small_machine, small_topology):
+        data = run_to_dict(make_run(small_machine, small_topology).slim())
+        data["format"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported run format"):
+            run_from_dict(data)
+
+
+def test_slim_drops_only_buffers_and_trace(small_machine, small_topology):
+    run = make_run(small_machine, small_topology, trace=True)
+    slim = run.slim()
+    assert slim.results == [] and slim.trace is None
+    assert slim.simulated_time == run.simulated_time
+    assert slim.finish_times == run.finish_times
+    assert slim.setup_stats == run.setup_stats
+    assert slim.utilization == run.utilization

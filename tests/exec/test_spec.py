@@ -1,0 +1,123 @@
+"""Unit tests for TopologySpec / MachineSpec / RunSpec identity and build."""
+
+import pickle
+
+import pytest
+
+from repro.collectives.runner import RunOptions
+from repro.exec import MachineSpec, RunSpec, TopologySpec
+from repro.sim.faults import get_profile
+from repro.topology import erdos_renyi_topology
+
+
+def spec(**overrides) -> RunSpec:
+    base = dict(
+        algorithm="distance_halving",
+        topology=TopologySpec("random", 16, density=0.3, seed=7),
+        machine=MachineSpec.for_ranks(16, ranks_per_socket=4),
+        msg_size="4KB",
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestTopologySpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology kind"):
+            TopologySpec("torus", 16)
+
+    def test_random_requires_density(self):
+        with pytest.raises(ValueError, match="density"):
+            TopologySpec("random", 16)
+
+    def test_canonical_only_carries_consumed_fields(self):
+        # Moore topologies ignore density/seed: two specs differing only in
+        # those fields must digest identically.
+        a = TopologySpec("moore", 16, radius=1, dims=2, seed=0)
+        b = TopologySpec("moore", 16, radius=1, dims=2, seed=999, density=0.5)
+        assert a.canonical() == b.canonical()
+
+    def test_build_matches_direct_generator(self):
+        topo_spec = TopologySpec("random", 16, density=0.3, seed=7)
+        direct = erdos_renyi_topology(16, 0.3, seed=7)
+        built = topo_spec.build()
+        assert sorted(built.edges()) == sorted(direct.edges())
+
+
+class TestMachineSpec:
+    def test_for_ranks_round_trips(self):
+        ms = MachineSpec.for_ranks(32, ranks_per_socket=4)
+        assert ms.n_ranks == 32
+        assert ms.build().spec.n_ranks == 32
+
+    def test_for_ranks_rejects_partial_nodes(self):
+        with pytest.raises(ValueError, match="multiple"):
+            MachineSpec.for_ranks(10, ranks_per_socket=4)
+
+    def test_placement_seed_changes_build(self):
+        plain = MachineSpec.for_ranks(16, ranks_per_socket=4)
+        shuffled = MachineSpec.for_ranks(
+            16, ranks_per_socket=4, placement_seed=3
+        )
+        assert plain.canonical() != shuffled.canonical()
+        assert shuffled.build().spec.n_ranks == 16
+
+
+class TestRunSpecIdentity:
+    def test_digest_is_stable_across_kwarg_order(self):
+        a = spec(algorithm="common_neighbor", algorithm_kwargs={"k": 4})
+        b = spec(algorithm="common_neighbor",
+                 algorithm_kwargs=(("k", 4),))
+        assert a == b
+        assert a.digest() == b.digest()
+        assert hash(a) == hash(b)
+
+    def test_msg_size_strings_normalize(self):
+        assert spec(msg_size="4KB") == spec(msg_size=4096)
+        assert spec(msg_size=["1KB", 2048]).msg_size == (1024, 2048)
+
+    def test_different_options_different_digest(self):
+        assert spec().digest() != spec(
+            options=RunOptions(noise_seed=1)
+        ).digest()
+
+    def test_fault_plan_participates_in_digest(self):
+        plan = get_profile("lossy", 16, seed=5)
+        with_plan = spec(options=RunOptions(fault_plan=plan))
+        assert with_plan.digest() != spec().digest()
+        # Same profile re-derived -> same digest.
+        again = spec(options=RunOptions(fault_plan=get_profile("lossy", 16, seed=5)))
+        assert with_plan.digest() == again.digest()
+
+    def test_canonical_json_is_deterministic(self):
+        assert spec().to_json() == spec().to_json()
+
+    def test_specs_pickle(self):
+        plan = get_profile("lossy", 16, seed=5)
+        s = spec(options=RunOptions(fault_plan=plan, fallback="naive"))
+        assert pickle.loads(pickle.dumps(s)) == s
+
+
+class TestRunSpecExecution:
+    def test_run_matches_direct_call(self):
+        from repro.collectives import run_allgather
+
+        s = spec()
+        via_spec = s.run()
+        direct = run_allgather(
+            "distance_halving",
+            erdos_renyi_topology(16, 0.3, seed=7),
+            s.machine.build(),
+            "4KB",
+        )
+        assert via_spec.simulated_time == direct.simulated_time
+        assert via_spec.messages_sent == direct.messages_sent
+
+    def test_verify_option_checks_postcondition(self):
+        run = spec(options=RunOptions(verify=True)).run()
+        assert run.simulated_time > 0
+
+    def test_label_mentions_algorithm_and_size(self):
+        label = spec().label()
+        assert "distance_halving" in label
+        assert "4KB" in label

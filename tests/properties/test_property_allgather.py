@@ -11,7 +11,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import Machine
-from repro.collectives import run_allgather, verify_allgather
+from repro.collectives import get_algorithm, run_allgather, verify_allgather
 from repro.collectives.distance_halving.builder import build_patterns, check_pattern
 from repro.topology import DistGraphTopology, erdos_renyi_topology
 
@@ -68,7 +68,7 @@ class TestAllgatherPostcondition:
     @given(topology_and_machine(), st.integers(1, 8))
     def test_common_neighbor_any_k(self, tm, k):
         topo, machine = tm
-        run = run_allgather("common_neighbor", topo, machine, 64, k=k)
+        run = run_allgather(get_algorithm("common_neighbor", k=k), topo, machine, 64)
         verify_allgather(topo, run)
 
 

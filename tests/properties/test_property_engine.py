@@ -107,13 +107,14 @@ def test_tracing_never_perturbs_the_simulation(algorithm, nodes, density, size, 
     """``trace=True`` only observes: simulated time, message count, byte
     count and per-rank finish times must be bit-identical to an untraced
     run of the same collective."""
-    from repro.collectives.runner import run_allgather
+    from repro.collectives.runner import RunOptions, run_allgather
     from repro.topology import erdos_renyi_topology
 
     machine = make_machine(nodes, 2)
     topology = erdos_renyi_topology(machine.spec.n_ranks, density, seed=seed)
     plain = run_allgather(algorithm, topology, machine, size)
-    traced = run_allgather(algorithm, topology, machine, size, trace=True)
+    traced = run_allgather(algorithm, topology, machine, size,
+                           options=RunOptions(trace=True))
     assert traced.simulated_time == plain.simulated_time
     assert traced.messages_sent == plain.messages_sent
     assert traced.bytes_sent == plain.bytes_sent

@@ -12,7 +12,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cluster import Machine
 from repro.cluster.spec import LinkClass
-from repro.collectives.runner import run_allgather
+from repro.collectives.runner import RunOptions, run_allgather
 from repro.sim.engine import DeadlockError
 from repro.sim.faults import (
     FaultPlan,
@@ -70,7 +70,8 @@ def fault_plans(draw):
 
 def _signature(algorithm, plan, trace):
     run = run_allgather(
-        algorithm, TOPOLOGY, MACHINE, 512, fault_plan=plan, trace=trace
+        algorithm, TOPOLOGY, MACHINE, 512,
+        options=RunOptions(fault_plan=plan, trace=trace)
     )
     return (run.simulated_time, run.messages_sent, tuple(sorted(run.fault_stats.items())))
 

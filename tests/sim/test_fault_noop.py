@@ -12,7 +12,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.collectives.runner import run_allgather
+from repro.collectives.base import get_algorithm
+from repro.collectives.runner import RunOptions, run_allgather
 from repro.sim.faults import FaultPlan, LinkFault, MessageLoss, RetryPolicy, Straggler
 from repro.topology import erdos_renyi_topology
 
@@ -49,9 +50,10 @@ def test_zero_plan_matches_golden_grid_exactly(row):
     factory, (n, density, seed) = MACHINES[row["machine"]]
     machine = factory()
     topology = erdos_renyi_topology(n, density, seed=seed)
+    algorithm = get_algorithm(row["algorithm"], **row["kwargs"])
     run = run_allgather(
-        row["algorithm"], topology, machine, row["msg_bytes"],
-        fault_plan=ZERO_PLAN, **row["kwargs"]
+        algorithm, topology, machine, row["msg_bytes"],
+        options=RunOptions(fault_plan=ZERO_PLAN),
     )
     assert run.simulated_time == row["simulated_time"]
     assert run.messages_sent == row["messages_sent"]

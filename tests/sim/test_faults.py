@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.cluster import Machine
-from repro.collectives.runner import run_allgather, verify_allgather
+from repro.collectives.runner import RunOptions, run_allgather, verify_allgather
 from repro.sim.engine import DeadlockError, Engine, SimTimeoutError
 from repro.sim.faults import (
     FaultInjector,
@@ -162,7 +162,8 @@ class TestRetryAndLoss:
             losses=(MessageLoss(probability=1.0, end=window_end),),
             retry=RetryPolicy(timeout=window_end * 2, backoff=2.0, max_retries=3),
         )
-        run = run_allgather("naive", topology, machine, 256, fault_plan=plan)
+        run = run_allgather("naive", topology, machine, 256,
+                            options=RunOptions(fault_plan=plan))
         verify_allgather(topology, run)
         stats = run.fault_stats
         assert stats["messages_lost"] == 0
@@ -179,7 +180,8 @@ class TestRetryAndLoss:
             retry=RetryPolicy(timeout=1e-5, max_retries=2),
         )
         with pytest.raises(DeadlockError, match="blocked processes"):
-            run_allgather("naive", topology, machine, 256, fault_plan=plan)
+            run_allgather("naive", topology, machine, 256,
+                          options=RunOptions(fault_plan=plan))
 
     def test_lost_send_request_flags(self):
         machine = small_machine()
@@ -289,7 +291,7 @@ class TestWatchdog:
         clean = run_allgather("distance_halving", topology, machine, 512)
         guarded = run_allgather(
             "distance_halving", topology, machine, 512,
-            max_sim_time=10.0, max_events=10**9,
+            options=RunOptions(max_sim_time=10.0, max_events=10**9),
         )
         assert guarded.simulated_time == clean.simulated_time
 
@@ -304,7 +306,7 @@ class TestFallback:
         )
         run = run_allgather(
             "distance_halving", topology, machine, 256,
-            fault_plan=plan, fallback="naive",
+            options=RunOptions(fault_plan=plan, fallback="naive"),
         )
         verify_allgather(topology, run)
         assert run.fallback_used
@@ -321,7 +323,7 @@ class TestFallback:
             retry=RetryPolicy(max_retries=1),
         )
         run = run_allgather("distance_halving", topology, machine, 256,
-                            fault_plan=plan)
+                            options=RunOptions(fault_plan=plan))
         assert not run.fallback_used
         assert run.algorithm == "distance_halving"
 
@@ -333,7 +335,7 @@ class TestFallback:
             retry=RetryPolicy(max_retries=1),
         )
         run = run_allgather("naive", topology, machine, 256,
-                            fault_plan=plan, fallback="naive")
+                            options=RunOptions(fault_plan=plan, fallback="naive"))
         assert not run.fallback_used
 
 
@@ -362,6 +364,7 @@ class TestProfiles:
         topology = small_topology()
         for name, plan in resilience_profiles(topology.n, seed=5).items():
             run = run_allgather("distance_halving", topology, machine, 512,
-                                fault_plan=plan, fallback="naive")
+                                options=RunOptions(fault_plan=plan,
+                                                   fallback="naive"))
             verify_allgather(topology, run)
             assert math.isfinite(run.simulated_time), name

@@ -14,6 +14,7 @@ from pathlib import Path
 import pytest
 
 from repro.cluster import Machine
+from repro.collectives.base import get_algorithm
 from repro.collectives.runner import run_allgather
 from repro.topology import erdos_renyi_topology
 
@@ -50,8 +51,9 @@ def test_matches_seed_engine_exactly(row):
     factory, (n, density, seed) = MACHINES[row["machine"]]
     machine = factory()
     topology = erdos_renyi_topology(n, density, seed=seed)
+    algorithm = get_algorithm(row["algorithm"], **row["kwargs"])
     run = run_allgather(
-        row["algorithm"], topology, machine, row["msg_bytes"], **row["kwargs"]
+        algorithm, topology, machine, row["msg_bytes"]
     )
     assert run.simulated_time == row["simulated_time"]
     assert run.messages_sent == row["messages_sent"]

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.collectives import run_allgather
+from repro.collectives import RunOptions, run_allgather
 from repro.sim.timeline import (
     chrome_trace,
     phase_breakdown,
@@ -15,7 +15,7 @@ from repro.sim.timeline import (
 
 @pytest.fixture
 def dh_run(small_machine, small_topology):
-    return run_allgather("distance_halving", small_topology, small_machine, 512, trace=True)
+    return run_allgather("distance_halving", small_topology, small_machine, 512, options=RunOptions(trace=True))
 
 
 class TestPhaseName:

@@ -9,6 +9,8 @@ from repro.cli import FIGURES, build_parser, main
 @pytest.fixture(autouse=True)
 def isolated_results(tmp_path, monkeypatch):
     monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+    # Keep the default-on CLI cache inside the test sandbox.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     yield tmp_path
 
 
@@ -108,3 +110,49 @@ class TestFaults:
         assert main(["compare", *SMALL, "--msg", "256",
                      "--max-sim-time", "10.0", "--max-events", "1000000"]) == 0
         assert "verified" in capsys.readouterr().out
+
+
+class TestExecFlags:
+    def test_sweep_smoke_cold_run_reports_stats(self, tmp_path, capsys):
+        cache = tmp_path / "c1"
+        assert main(["bench", "--sweep-smoke", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "12 computed" in out and "hit_rate=0.00" in out
+
+    def test_sweep_smoke_warm_run_passes_hit_rate_gate(self, tmp_path, capsys):
+        cache = tmp_path / "c2"
+        assert main(["bench", "--sweep-smoke", "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--sweep-smoke", "--cache-dir", str(cache),
+                     "--workers", "2", "--min-cache-hit-rate", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "12 from cache" in out and "hit_rate=1.00" in out
+
+    def test_sweep_smoke_cold_run_fails_hit_rate_gate(self, tmp_path, capsys):
+        cache = tmp_path / "c3"
+        assert main(["bench", "--sweep-smoke", "--cache-dir", str(cache),
+                     "--min-cache-hit-rate", "0.9"]) == 1
+        assert "below the required" in capsys.readouterr().err
+
+    def test_sweep_smoke_no_cache(self, capsys):
+        assert main(["bench", "--sweep-smoke", "--no-cache"]) == 0
+        assert "cache: disabled" in capsys.readouterr().out
+
+    def test_bench_modes_mutually_exclusive(self, capsys):
+        assert main(["bench", "--wallclock", "--sweep-smoke"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_figure_with_workers_and_cache_matches_serial(
+        self, isolated_results, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        cache = tmp_path / "figcache"
+        assert main(["bench", "fig2", "--cache-dir", str(cache),
+                     "--workers", "2"]) == 0
+        first = json.loads((isolated_results / "fig2_model.json").read_text())
+        assert main(["bench", "fig2", "--cache-dir", str(cache),
+                     "--workers", "2"]) == 0
+        second = json.loads((isolated_results / "fig2_model.json").read_text())
+        assert first == second
