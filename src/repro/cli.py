@@ -24,6 +24,12 @@ Commands
     (on by default; ``--no-cache`` / ``--cache-dir`` control it) answers
     previously-computed cells without re-simulating.  Parallel and cached
     reruns are bit-identical to serial cold runs.
+``fuzz``
+    Differential conformance fuzzer (:mod:`repro.verify`): random
+    scenarios through all three algorithms with metamorphic invariants and
+    trace conservation laws; failures are shrunk and written as replayable
+    repro files (``--replay`` re-checks one).  ``--inject-bug`` is the
+    mutation self-test proving the pipeline catches a planted defect.
 
 Simulation failures (``DeadlockError``, ``SimTimeoutError``) exit non-zero
 with a one-line diagnostic instead of a traceback; ``--max-sim-time`` /
@@ -144,6 +150,36 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--min-cache-hit-rate", type=float, default=None,
                          help="with --sweep-smoke: exit 1 if the cache hit "
                               "rate falls below this fraction")
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="differential conformance fuzzer (repro.verify)")
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; iteration i replays as "
+                             "(seed, i) regardless of earlier iterations")
+    fuzz_p.add_argument("--iterations", type=int, default=200,
+                        help="scenarios to try (default 200)")
+    fuzz_p.add_argument("--time-budget", type=float, default=None,
+                        help="wall-clock budget in seconds (checked between "
+                             "iterations; for CI smoke jobs)")
+    fuzz_p.add_argument("--profile", choices=("clean", "faulty"),
+                        default="clean",
+                        help="clean: no fault plans, full metamorphic "
+                             "battery; faulty: every scenario gets a random "
+                             "fault plan and loss-accounting checks")
+    fuzz_p.add_argument("--out-dir", default="fuzz-failures",
+                        help="where shrunk repro files and pytest snippets "
+                             "are written on failure")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="write the original failing scenario without "
+                             "minimizing it first")
+    fuzz_p.add_argument("--replay", metavar="REPRO_JSON", default=None,
+                        help="replay a repro file instead of fuzzing; exits "
+                             "1 while it still reproduces")
+    fuzz_p.add_argument("--inject-bug", choices=("payload-corruption",),
+                        default=None,
+                        help="mutation self-test: wire a deliberate defect "
+                             "into every trial and demand the fuzzer catches "
+                             "and shrinks it")
     return parser
 
 
@@ -396,6 +432,43 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.verify import fuzz, replay_file
+
+    if args.replay is not None:
+        try:
+            violations = replay_file(args.replay)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot replay {args.replay}: {exc}", file=sys.stderr)
+            return 1
+        if not violations:
+            print(f"replay {args.replay}: no violations (fixed)")
+            return 0
+        print(f"replay {args.replay}: {len(violations)} violation(s)")
+        for v in violations:
+            print(f"  - {v}")
+        return 1
+
+    every = max(1, args.iterations // 10)
+
+    def progress(done: int, total: int) -> None:
+        if done % every == 0 or done == total:
+            print(f"  {done}/{total} iterations", flush=True)
+
+    report = fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        time_budget=args.time_budget,
+        profile=args.profile,
+        inject_bug=args.inject_bug,
+        shrink=not args.no_shrink,
+        out_dir=args.out_dir,
+        on_progress=progress,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "info": cmd_info,
     "calibrate": cmd_calibrate,
@@ -404,6 +477,7 @@ _COMMANDS = {
     "analyze": cmd_analyze,
     "spmm": cmd_spmm,
     "bench": cmd_bench,
+    "fuzz": cmd_fuzz,
 }
 
 

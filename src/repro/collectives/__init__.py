@@ -30,6 +30,7 @@ from repro.collectives.runner import (
     DEFAULT_OPTIONS,
     AllgatherRun,
     RunOptions,
+    VerificationError,
     run_allgather,
     run_allgatherv,
     verify_allgather,
@@ -48,6 +49,7 @@ __all__ = [
     "HierarchicalAllgather",
     "AllgatherRun",
     "RunOptions",
+    "VerificationError",
     "DEFAULT_OPTIONS",
     "run_allgather",
     "run_allgatherv",

@@ -28,6 +28,71 @@ from repro.topology.graph import DistGraphTopology
 from repro.utils.sizes import parse_size
 
 
+class VerificationError(AssertionError):
+    """The MPI allgather post-condition failed, with structured detail.
+
+    Subclasses :class:`AssertionError` so legacy ``pytest.raises`` /
+    ``except AssertionError`` call sites keep working, but carries the
+    violation as data so the :mod:`repro.verify` fuzzer (and any other
+    machine consumer) can classify, minimize, and report failures without
+    parsing message strings.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the algorithm whose run failed verification.
+    rank:
+        The receiving rank whose buffer is wrong.
+    missing, extra:
+        For neighbor-set violations: sorted source ranks whose block never
+        arrived / arrived without a topology edge (empty tuples otherwise).
+    neighbor, got, expected:
+        For payload violations: the source rank whose block carries the
+        wrong object, the received payload, and the expected payload
+        (``None`` for neighbor-set violations).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        algorithm: str,
+        rank: int,
+        missing: tuple[int, ...] = (),
+        extra: tuple[int, ...] = (),
+        neighbor: int | None = None,
+        got: Any = None,
+        expected: Any = None,
+    ) -> None:
+        super().__init__(message)
+        self.algorithm = algorithm
+        self.rank = rank
+        self.missing = tuple(missing)
+        self.extra = tuple(extra)
+        self.neighbor = neighbor
+        self.got = got
+        self.expected = expected
+
+    @property
+    def kind(self) -> str:
+        """``"neighbor_set"`` or ``"payload"`` — which post-condition broke."""
+        return "payload" if self.neighbor is not None else "neighbor_set"
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe summary (embedded in fuzzer repro files)."""
+        return {
+            "kind": self.kind,
+            "algorithm": self.algorithm,
+            "rank": self.rank,
+            "missing": list(self.missing),
+            "extra": list(self.extra),
+            "neighbor": self.neighbor,
+            "got": repr(self.got) if self.got is not None else None,
+            "expected": repr(self.expected) if self.expected is not None else None,
+            "message": str(self),
+        }
+
+
 @dataclass(frozen=True)
 class RunOptions:
     """Execution options for one simulated collective.
@@ -84,6 +149,20 @@ class RunOptions:
             "verify": self.verify,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunOptions":
+        """Inverse of :meth:`canonical` (used by fuzzer repro files)."""
+        plan = data.get("fault_plan")
+        return cls(
+            trace=data.get("trace", False),
+            noise_seed=data.get("noise_seed", 0),
+            fault_plan=FaultPlan.from_dict(plan) if plan is not None else None,
+            fallback=data.get("fallback"),
+            max_sim_time=data.get("max_sim_time"),
+            max_events=data.get("max_events"),
+            verify=data.get("verify", False),
+        )
+
 
 #: Shared default options (all fields at their defaults).
 DEFAULT_OPTIONS = RunOptions()
@@ -116,6 +195,11 @@ class AllgatherRun:
     fault_stats: dict[str, int] | None = None
     #: algorithm originally requested when graceful degradation swapped it
     requested_algorithm: str | None = None
+    #: per-link-class conservation aggregates (TraceCollector.summary();
+    #: trace=True runs only).  Plain JSON data, so — unlike ``trace`` — it
+    #: survives slim(), worker transfer, and cache round-trips, keeping the
+    #: repro.verify conservation checks runnable on cached results.
+    trace_summary: dict[str, dict[str, int]] | None = None
 
     @property
     def fallback_used(self) -> bool:
@@ -130,8 +214,8 @@ class AllgatherRun:
         ``trace`` a :class:`~repro.sim.tracing.TraceCollector` closed over
         live simulator state — together they make a run unpicklable (or
         enormous) for cross-process transfer and content-addressed caching.
-        Everything else (timings, counters, setup stats, fault stats) is
-        preserved bit-for-bit.
+        Everything else (timings, counters, setup stats, fault stats, and
+        the ``trace_summary`` aggregates) is preserved bit-for-bit.
         """
         return dataclasses.replace(self, results=[], trace=None)
 
@@ -297,6 +381,7 @@ def run_allgather(
         utilization=utilization,
         fault_stats=injector.stats() if injector is not None else None,
         requested_algorithm=requested_algorithm,
+        trace_summary=collector.summary() if collector is not None else None,
     )
     if opts.verify:
         verify_allgather(topology, run, expected_payloads=payloads)
@@ -354,7 +439,9 @@ def verify_allgather(
     payloads.  Pass the same ``payloads`` list given to the run to verify
     non-default-payload executions.
 
-    Raises :class:`AssertionError` with a precise message on any violation.
+    Raises :class:`VerificationError` (an :class:`AssertionError` subclass
+    carrying the violating (rank, neighbor, got, expected) as data) on any
+    violation.
     """
     if expected_payloads is not None and len(expected_payloads) != topology.n:
         raise ValueError(
@@ -367,14 +454,23 @@ def verify_allgather(
         missing = expected - got
         extra = got - expected
         if missing or extra:
-            raise AssertionError(
+            raise VerificationError(
                 f"[{run.algorithm}] rank {v}: missing blocks from {sorted(missing)}, "
-                f"unexpected blocks from {sorted(extra)}"
+                f"unexpected blocks from {sorted(extra)}",
+                algorithm=run.algorithm,
+                rank=v,
+                missing=tuple(sorted(missing)),
+                extra=tuple(sorted(extra)),
             )
         for src, payload in run.results[v].items():
             want = src if expected_payloads is None else expected_payloads[src]
             if payload != want:
-                raise AssertionError(
+                raise VerificationError(
                     f"[{run.algorithm}] rank {v}: block from {src} carries wrong "
-                    f"payload {payload!r} (expected {want!r})"
+                    f"payload {payload!r} (expected {want!r})",
+                    algorithm=run.algorithm,
+                    rank=v,
+                    neighbor=src,
+                    got=payload,
+                    expected=want,
                 )

@@ -20,7 +20,8 @@ from repro.collectives.runner import AllgatherRun
 
 #: Serialization format version (bumped on layout changes; part of the
 #: cache salt so stale entries are recomputed, never misread).
-FORMAT_VERSION = 1
+#: v2: slim runs carry ``trace_summary`` (per-class conservation aggregates).
+FORMAT_VERSION = 2
 
 #: Run fields excluded from the determinism contract (host-dependent).
 WALL_CLOCK_FIELDS = ("wall_time",)
@@ -67,6 +68,7 @@ def run_to_dict(run: AllgatherRun) -> dict:
         "utilization": _jsonable(run.utilization),
         "fault_stats": run.fault_stats,
         "requested_algorithm": run.requested_algorithm,
+        "trace_summary": _jsonable(run.trace_summary),
     }
 
 
@@ -100,4 +102,5 @@ def run_from_dict(data: dict) -> AllgatherRun:
         utilization=data["utilization"],
         fault_stats=data["fault_stats"],
         requested_algorithm=data["requested_algorithm"],
+        trace_summary=data["trace_summary"],
     )

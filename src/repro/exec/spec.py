@@ -41,7 +41,8 @@ class TopologySpec:
 
     Kinds and the fields they read:
 
-    * ``"random"`` — Erdős–Rényi; ``n``, ``density``, ``seed``.
+    * ``"random"`` — Erdős–Rényi; ``n``, ``density``, ``seed``,
+      ``self_loops`` (MPI permits ``u -> u`` edges; off by default).
     * ``"moore"`` — Moore neighborhood; ``n``, ``radius``, ``dims``.
     * ``"cartesian"`` — Von Neumann stencil; ``n``, ``dims``.
     * ``"scale_free"`` — preferential attachment; ``n``,
@@ -55,6 +56,7 @@ class TopologySpec:
     radius: int = 1
     dims: int = 2
     edges_per_rank: int = 4
+    self_loops: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in TOPOLOGY_KINDS:
@@ -65,10 +67,16 @@ class TopologySpec:
             raise ValueError("random topologies require a density")
 
     def canonical(self) -> dict:
-        """Only the fields the kind actually consumes (stable digests)."""
+        """Only the fields the kind actually consumes (stable digests).
+
+        ``self_loops`` appears only when set, so pre-existing digests (and
+        cached results) of loop-free specs are unchanged.
+        """
         base: dict[str, Any] = {"kind": self.kind, "n": self.n}
         if self.kind == "random":
             base.update(density=self.density, seed=self.seed)
+            if self.self_loops:
+                base.update(self_loops=True)
         elif self.kind == "moore":
             base.update(radius=self.radius, dims=self.dims)
         elif self.kind == "cartesian":
@@ -77,12 +85,27 @@ class TopologySpec:
             base.update(edges_per_rank=self.edges_per_rank, seed=self.seed)
         return base
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "TopologySpec":
+        """Inverse of :meth:`canonical` (fields the kind ignores default)."""
+        return cls(
+            kind=data["kind"],
+            n=data["n"],
+            density=data.get("density"),
+            seed=data.get("seed", 0),
+            radius=data.get("radius", 1),
+            dims=data.get("dims", 2),
+            edges_per_rank=data.get("edges_per_rank", 4),
+            self_loops=data.get("self_loops", False),
+        )
+
     def build(self) -> "DistGraphTopology":
         """Materialize the graph (deterministic given the spec)."""
         if self.kind == "random":
             from repro.topology.random_graphs import erdos_renyi_topology
 
-            return erdos_renyi_topology(self.n, self.density, seed=self.seed)
+            return erdos_renyi_topology(self.n, self.density, seed=self.seed,
+                                        allow_self_loops=self.self_loops)
         if self.kind == "moore":
             from repro.topology.moore import moore_topology
 
@@ -144,6 +167,16 @@ class MachineSpec:
             "ranks_per_socket": self.ranks_per_socket,
             "placement_seed": self.placement_seed,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineSpec":
+        """Inverse of :meth:`canonical`."""
+        return cls(
+            nodes=data["nodes"],
+            sockets_per_node=data.get("sockets_per_node", 2),
+            ranks_per_socket=data.get("ranks_per_socket", 8),
+            placement_seed=data.get("placement_seed"),
+        )
 
     def build(self) -> "Machine":
         from repro.cluster.machine import Machine
@@ -210,6 +243,21 @@ class RunSpec:
             ),
             "options": self.options.canonical(),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        """Inverse of :meth:`canonical` — what fuzzer repro files replay."""
+        msg = data["msg_size"]
+        return cls(
+            algorithm=data["algorithm"],
+            topology=TopologySpec.from_dict(data["topology"]),
+            machine=MachineSpec.from_dict(data["machine"]),
+            msg_size=tuple(msg) if isinstance(msg, list) else msg,
+            algorithm_kwargs=tuple(
+                (k, v) for k, v in data.get("algorithm_kwargs", ())
+            ),
+            options=RunOptions.from_dict(data.get("options", {})),
+        )
 
     def to_json(self) -> str:
         """Canonical serialization: sorted keys, no whitespace."""

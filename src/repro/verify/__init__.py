@@ -1,0 +1,70 @@
+"""Differential fuzzing and metamorphic verification of the reproduction.
+
+The three allgather algorithms are semantically identical — they must
+deliver the same blocks with the same payloads, differing only in cost.
+This package turns that redundancy into a test oracle:
+
+* :mod:`~repro.verify.generators` — seeded random scenarios (topology,
+  machine, message size, fault plan) replayable from ``(seed, iteration)``.
+* :mod:`~repro.verify.invariants` — the invariant battery: the MPI
+  post-condition, cross-algorithm agreement, trace conservation laws,
+  metamorphic relations (size monotonicity, within-socket relabeling,
+  payload independence), and Distance Halving structural checks.
+* :mod:`~repro.verify.differential` — the fuzz driver: run all algorithms
+  per scenario, check invariants, write replayable repro files.
+* :mod:`~repro.verify.shrink` — greedy minimization of failing scenarios.
+
+Entry points: ``repro fuzz`` on the CLI, :func:`fuzz` from code, and
+:func:`replay_file` from promoted regression tests.
+"""
+
+from repro.verify.differential import (
+    ALGORITHMS,
+    BUG_INJECTORS,
+    FuzzReport,
+    TrialResult,
+    fuzz,
+    make_bug,
+    replay,
+    replay_file,
+    run_trial,
+    write_repro,
+)
+from repro.verify.generators import (
+    PROFILES,
+    Scenario,
+    ScenarioConfig,
+    generate_scenario,
+)
+from repro.verify.invariants import (
+    INVARIANTS,
+    InvariantViolation,
+    Violation,
+    assert_invariants,
+    run_invariants,
+)
+from repro.verify.shrink import ShrinkOutcome, shrink_scenario
+
+__all__ = [
+    "ALGORITHMS",
+    "BUG_INJECTORS",
+    "INVARIANTS",
+    "PROFILES",
+    "FuzzReport",
+    "InvariantViolation",
+    "Scenario",
+    "ScenarioConfig",
+    "ShrinkOutcome",
+    "TrialResult",
+    "Violation",
+    "assert_invariants",
+    "fuzz",
+    "generate_scenario",
+    "make_bug",
+    "replay",
+    "replay_file",
+    "run_invariants",
+    "run_trial",
+    "shrink_scenario",
+    "write_repro",
+]

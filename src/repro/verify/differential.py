@@ -1,0 +1,287 @@
+"""The differential fuzzer: run every algorithm on random scenarios.
+
+One *trial* takes a :class:`~repro.verify.generators.Scenario`, runs all
+three allgather algorithms on it through the production
+:class:`~repro.exec.RunSpec` path, and checks the full invariant battery
+(:mod:`repro.verify.invariants`).  :func:`fuzz` is the driver loop:
+generate, run, and on the first failing trial shrink the scenario
+(:mod:`repro.verify.shrink`) and write a replayable repro file plus a
+ready-to-paste pytest snippet.
+
+Mutation testing hook
+---------------------
+``inject_bug`` wires a deliberate defect into every trial so the pipeline
+can prove it *would* catch a real one — the acceptance test for the whole
+subsystem.  ``"payload-corruption"`` overwrites one delivered block of the
+distance_halving run after execution, modeling a buffer-packing bug; the
+fuzzer must flag it (payload_equivalence + cross_algorithm) and shrink it
+to a handful of ranks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.verify.generators import Scenario, ScenarioConfig, generate_scenario
+from repro.verify.invariants import Violation, run_invariants
+
+#: Algorithms every trial runs (the differential set).
+ALGORITHMS = ("naive", "common_neighbor", "distance_halving")
+
+#: Registered bug injectors for mutation testing (name -> corruptor).
+BUG_INJECTORS: dict[str, Callable[[dict], None]] = {}
+
+
+def _register_bug(name: str):
+    def deco(fn: Callable[[dict], None]):
+        BUG_INJECTORS[name] = fn
+        return fn
+    return deco
+
+
+@_register_bug("payload-corruption")
+def _corrupt_payload(runs: dict) -> None:
+    """Overwrite one delivered block of the DH run (a packing-offset bug)."""
+    run = runs.get("distance_halving")
+    if run is None:
+        return
+    for results in reversed(run.results):
+        if results:
+            src = max(results)
+            results[src] = "corrupted"
+            return
+
+
+def make_bug(name: str | None) -> Callable[[dict], None] | None:
+    """Resolve an ``inject_bug`` name (``None`` passes through)."""
+    if name is None:
+        return None
+    try:
+        return BUG_INJECTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown bug {name!r}; available: {sorted(BUG_INJECTORS)}"
+        ) from None
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one differential trial."""
+
+    scenario: Scenario
+    violations: list[Violation] = field(default_factory=list)
+    runs: dict[str, Any] = field(default_factory=dict, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def signature(self) -> frozenset[str]:
+        """The set of violated invariant names — the shrinker's predicate."""
+        return frozenset(v.invariant for v in self.violations)
+
+
+def run_trial(
+    scenario: Scenario,
+    *,
+    corrupt: Callable[[dict], None] | None = None,
+    metamorphic: bool = True,
+) -> TrialResult:
+    """Run all algorithms on one scenario and check invariants.
+
+    Execution failures (deadlock, watchdog, setup errors) become
+    ``"execution"`` violations rather than propagating — a crash on a
+    random scenario is a finding, not a fuzzer bug.
+    """
+    topology = scenario.topology.build()
+    result = TrialResult(scenario=scenario)
+    for name in ALGORITHMS:
+        try:
+            result.runs[name] = scenario.spec_for(name).run()
+        except Exception as exc:
+            result.violations.append(Violation(
+                "execution", name, f"{type(exc).__name__}: {exc}",
+            ))
+    if corrupt is not None:
+        corrupt(result.runs)
+    result.violations += run_invariants(
+        scenario, topology, result.runs, metamorphic=metamorphic,
+    )
+    return result
+
+
+@dataclass
+class FuzzReport:
+    """What one :func:`fuzz` campaign did and found."""
+
+    seed: int
+    profile: str
+    iterations_run: int = 0
+    elapsed: float = 0.0
+    stopped_by: str = "iterations"  #: "iterations" | "time_budget" | "failure"
+    failure: TrialResult | None = None
+    shrunk: Scenario | None = None
+    shrink_trials: int = 0
+    repro_path: Path | None = None
+    snippet_path: Path | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"fuzz: {self.iterations_run} iteration(s) clean "
+                f"(profile={self.profile}, seed={self.seed}, "
+                f"{self.elapsed:.1f}s, stopped by {self.stopped_by})"
+            )
+        lines = [
+            f"fuzz: FAILURE at iteration {self.failure.scenario.iteration} "
+            f"(profile={self.profile}, seed={self.seed})",
+            f"  scenario: {self.failure.scenario.label()}",
+        ]
+        lines += [f"  - {v}" for v in self.failure.violations[:8]]
+        if len(self.failure.violations) > 8:
+            lines.append(f"  ... {len(self.failure.violations) - 8} more")
+        if self.shrunk is not None:
+            lines.append(
+                f"  shrunk to: {self.shrunk.label()} "
+                f"({self.shrink_trials} shrink trial(s))"
+            )
+        if self.repro_path is not None:
+            lines.append(f"  repro:  {self.repro_path}")
+        if self.snippet_path is not None:
+            lines.append(f"  pytest: {self.snippet_path}")
+        return "\n".join(lines)
+
+
+def fuzz(
+    seed: int = 0,
+    iterations: int = 200,
+    *,
+    time_budget: float | None = None,
+    profile: str = "clean",
+    config: ScenarioConfig | None = None,
+    inject_bug: str | None = None,
+    shrink: bool = True,
+    out_dir: str | Path = "fuzz-failures",
+    on_progress: Callable[[int, int], None] | None = None,
+) -> FuzzReport:
+    """Run the differential fuzz campaign; stop at the first failure.
+
+    Deterministic given ``(seed, profile, config)``: iteration ``i`` always
+    draws the same scenario, so a failing campaign reproduces exactly.
+    ``time_budget`` (seconds) bounds wall-clock for CI smoke jobs; the
+    budget is checked between iterations, never mid-trial.
+    """
+    config = config or ScenarioConfig(profile=profile)
+    corrupt = make_bug(inject_bug)
+    report = FuzzReport(seed=seed, profile=config.profile)
+    start = time.perf_counter()
+    for i in range(iterations):
+        if time_budget is not None and time.perf_counter() - start > time_budget:
+            report.stopped_by = "time_budget"
+            break
+        scenario = generate_scenario(seed, i, config)
+        trial = run_trial(scenario, corrupt=corrupt)
+        report.iterations_run = i + 1
+        if on_progress is not None:
+            on_progress(i + 1, iterations)
+        if not trial.ok:
+            report.stopped_by = "failure"
+            report.failure = trial
+            if shrink:
+                from repro.verify.shrink import shrink_scenario
+
+                outcome = shrink_scenario(trial, corrupt=corrupt)
+                report.shrunk = outcome.scenario
+                report.shrink_trials = outcome.trials
+                final = outcome.result
+            else:
+                report.shrunk = trial.scenario
+                final = trial
+            report.repro_path, report.snippet_path = write_repro(
+                final, Path(out_dir), original=trial.scenario,
+                inject_bug=inject_bug,
+            )
+            break
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+# --------------------------------------------------------------------------
+# repro files
+# --------------------------------------------------------------------------
+
+#: Repro file format version.
+REPRO_FORMAT = 1
+
+_SNIPPET = '''\
+"""Auto-generated by `repro fuzz` — promote into tests/ to pin this repro."""
+
+from pathlib import Path
+
+from repro.verify import replay_file
+
+
+def test_fuzz_repro_{stem}():
+    violations = replay_file(Path(__file__).with_name("{name}"))
+    assert not violations, "\\n".join(str(v) for v in violations)
+'''
+
+
+def write_repro(
+    trial: TrialResult,
+    out_dir: Path,
+    *,
+    original: Scenario | None = None,
+    inject_bug: str | None = None,
+) -> tuple[Path, Path]:
+    """Write the (shrunk) failing scenario as JSON + a pytest snippet.
+
+    Returns ``(repro_path, snippet_path)``.  The JSON file alone replays
+    the failure (:func:`replay_file`); the snippet wraps that in a test.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    scenario = trial.scenario
+    stem = f"s{scenario.seed}_i{scenario.iteration}_{scenario.profile}"
+    payload = {
+        "format": REPRO_FORMAT,
+        "scenario": scenario.to_dict(),
+        "violations": [v.as_dict() for v in trial.violations],
+        "original_scenario": (
+            original.to_dict() if original is not None
+            and original != scenario else None
+        ),
+        "inject_bug": inject_bug,
+    }
+    repro_path = out_dir / f"repro_{stem}.json"
+    repro_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    snippet_path = out_dir / f"test_repro_{stem}.py"
+    snippet_path.write_text(
+        _SNIPPET.format(stem=stem, name=repro_path.name)
+    )
+    return repro_path, snippet_path
+
+
+def replay(data: dict, *, metamorphic: bool = True) -> list[Violation]:
+    """Re-run a repro payload's scenario; return current violations.
+
+    ``inject_bug`` recorded in the file is honored, so mutation-test repros
+    reproduce out of the box (and report clean once the injector is gone).
+    """
+    scenario = Scenario.from_dict(data["scenario"])
+    corrupt = make_bug(data.get("inject_bug"))
+    return run_trial(scenario, corrupt=corrupt,
+                     metamorphic=metamorphic).violations
+
+
+def replay_file(path: str | Path) -> list[Violation]:
+    """:func:`replay` on a repro JSON file written by :func:`write_repro`."""
+    return replay(json.loads(Path(path).read_text()))

@@ -1,0 +1,291 @@
+"""Seeded scenario generators for the differential conformance fuzzer.
+
+A :class:`Scenario` is everything one differential trial needs *except* the
+algorithm choice: a topology spec, a machine spec, a message size (scalar
+or allgatherv block list), and the :class:`~repro.collectives.runner.
+RunOptions` (fault plan, watchdog, tracing).  The fuzzer materializes one
+:class:`~repro.exec.RunSpec` per algorithm from it, so every fuzz trial
+exercises exactly the production execution path (spec -> build -> run).
+
+Determinism contract: ``generate_scenario(seed, iteration)`` is a pure
+function of its arguments — the RNG is ``default_rng([seed, iteration])``
+and every draw happens in a fixed order — so a failing iteration can be
+regenerated from ``(seed, iteration)`` alone, and a serialized scenario
+(:meth:`Scenario.to_dict`) replays bit-identically on any machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.collectives.runner import RunOptions
+from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
+from repro.sim.faults import (
+    FaultPlan,
+    LinkFault,
+    MessageLoss,
+    RetryPolicy,
+    Straggler,
+)
+
+#: Scenario serialization format (repro files embed it).
+SCENARIO_FORMAT = 1
+
+#: Fuzz profiles: ``clean`` draws no fault plans (and enables the full
+#: metamorphic battery); ``faulty`` perturbs every scenario.
+PROFILES = ("clean", "faulty")
+
+#: Scalar message sizes the generator draws from (bytes).  Includes the
+#: degenerate 0- and 1-byte blocks and spans the latency- and
+#: bandwidth-dominated regimes.
+MSG_SIZES = (0, 1, 7, 64, 512, 4096, 65536)
+
+#: Drop probabilities for lossy plans.  With the generator's retry budget
+#: (``max_retries=8``) the permanent-loss probability per message is at
+#: most 0.1**9 = 1e-9, so fuzz runs complete and loss cost shows up as
+#: retransmissions — never as a spurious deadlock.
+LOSS_PROBABILITIES = (0.01, 0.03, 0.1)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Bounds for the generator (kept small: a trial runs ~10 simulations).
+
+    ``max_nodes * max_sockets_per_node * max_ranks_per_socket`` caps the
+    communicator size (default 4*2*4 = 32 ranks — large enough for three
+    halving levels, small enough for ~200 trials in a CI smoke budget).
+    """
+
+    profile: str = "clean"
+    max_nodes: int = 4
+    max_sockets_per_node: int = 2
+    max_ranks_per_socket: int = 4
+    allgatherv_probability: float = 0.15
+    self_loop_probability: float = 0.25
+    max_events: int = 5_000_000
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILES:
+            raise ValueError(
+                f"unknown profile {self.profile!r}; available: {PROFILES}"
+            )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fuzz trial's inputs (algorithm-agnostic; frozen, hashable).
+
+    ``seed``/``iteration`` record provenance — which generator draw
+    produced this scenario — and ride along into repro files; they do not
+    affect execution (the topology/machine/fault seeds are already fixed
+    inside the specs).
+    """
+
+    topology: TopologySpec
+    machine: MachineSpec
+    msg_size: int | tuple[int, ...]
+    options: RunOptions = field(default_factory=RunOptions)
+    profile: str = "clean"
+    seed: int = 0
+    iteration: int = 0
+
+    @property
+    def n_ranks(self) -> int:
+        return self.topology.n
+
+    def spec_for(self, algorithm: str) -> RunSpec:
+        """The production :class:`RunSpec` running ``algorithm`` on me."""
+        return RunSpec(
+            algorithm=algorithm,
+            topology=self.topology,
+            machine=self.machine,
+            msg_size=self.msg_size,
+            options=self.options,
+        )
+
+    def label(self) -> str:
+        size = (
+            f"v[{len(self.msg_size)}]" if isinstance(self.msg_size, tuple)
+            else str(self.msg_size)
+        )
+        plan = self.options.fault_plan
+        faults = f" faults({plan.describe()})" if plan is not None else ""
+        return (
+            f"seed={self.seed} it={self.iteration} {self.topology.kind} "
+            f"n={self.topology.n} m={size}{faults}"
+        )
+
+    # ------------------------------------------------------------- (de)serde
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form; :meth:`from_dict` replays it bit-identically."""
+        return {
+            "format": SCENARIO_FORMAT,
+            "topology": self.topology.canonical(),
+            "machine": self.machine.canonical(),
+            "msg_size": (
+                list(self.msg_size) if isinstance(self.msg_size, tuple)
+                else self.msg_size
+            ),
+            "options": self.options.canonical(),
+            "profile": self.profile,
+            "seed": self.seed,
+            "iteration": self.iteration,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        if data.get("format") != SCENARIO_FORMAT:
+            raise ValueError(
+                f"unsupported scenario format {data.get('format')!r} "
+                f"(expected {SCENARIO_FORMAT})"
+            )
+        msg = data["msg_size"]
+        return cls(
+            topology=TopologySpec.from_dict(data["topology"]),
+            machine=MachineSpec.from_dict(data["machine"]),
+            msg_size=tuple(msg) if isinstance(msg, list) else msg,
+            options=RunOptions.from_dict(data["options"]),
+            profile=data.get("profile", "clean"),
+            seed=data.get("seed", 0),
+            iteration=data.get("iteration", 0),
+        )
+
+    def with_(self, **changes) -> "Scenario":
+        """Shrinker sugar: a copy with some fields replaced."""
+        return replace(self, **changes)
+
+
+def generate_scenario(
+    seed: int,
+    iteration: int,
+    config: ScenarioConfig | None = None,
+) -> Scenario:
+    """Draw one scenario — a pure function of ``(seed, iteration, config)``."""
+    config = config or ScenarioConfig()
+    rng = np.random.default_rng([seed, iteration])
+
+    machine = _draw_machine(rng, config)
+    topology = _draw_topology(rng, config, machine.n_ranks)
+    msg_size = _draw_msg_size(rng, config, machine.n_ranks)
+
+    fault_plan = None
+    fallback = None
+    if config.profile == "faulty":
+        fault_plan = _draw_fault_plan(rng, machine.n_ranks)
+        fallback = "naive"
+    options = RunOptions(
+        trace=True,
+        fault_plan=fault_plan,
+        fallback=fallback,
+        max_events=config.max_events,
+    )
+    return Scenario(
+        topology=topology,
+        machine=machine,
+        msg_size=msg_size,
+        options=options,
+        profile=config.profile,
+        seed=seed,
+        iteration=iteration,
+    )
+
+
+def _draw_machine(rng: np.random.Generator, config: ScenarioConfig) -> MachineSpec:
+    return MachineSpec(
+        nodes=int(rng.integers(1, config.max_nodes + 1)),
+        sockets_per_node=int(rng.integers(1, config.max_sockets_per_node + 1)),
+        ranks_per_socket=int(rng.integers(1, config.max_ranks_per_socket + 1)),
+    )
+
+
+def _draw_topology(
+    rng: np.random.Generator, config: ScenarioConfig, n: int
+) -> TopologySpec:
+    # Random graphs get most of the weight: they cover the degenerate cases
+    # (empty neighborhoods at density 0, self-loops, hubs at high density)
+    # that structured grids cannot produce.
+    kind = str(rng.choice(
+        ["random", "random", "random", "moore", "cartesian", "scale_free"]
+    ))
+    if kind == "random":
+        density = float(rng.choice([0.0, 0.05, 0.1, 0.3, 0.6, 0.9]))
+        return TopologySpec(
+            "random", n, density=density,
+            seed=int(rng.integers(0, 2**31 - 1)),
+            self_loops=bool(rng.random() < config.self_loop_probability),
+        )
+    if kind == "moore":
+        return TopologySpec(
+            "moore", n,
+            radius=int(rng.integers(1, 3)),
+            dims=int(rng.integers(1, 4)),
+        )
+    if kind == "cartesian":
+        return TopologySpec("cartesian", n, dims=int(rng.integers(1, 4)))
+    return TopologySpec(
+        "scale_free", n,
+        edges_per_rank=int(rng.integers(1, 5)),
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )
+
+
+def _draw_msg_size(
+    rng: np.random.Generator, config: ScenarioConfig, n: int
+) -> int | tuple[int, ...]:
+    if rng.random() < config.allgatherv_probability:
+        # Variable block sizes, including some zero-length blocks.
+        return tuple(
+            int(rng.choice([0, 1, 64, 512, 4096])) for _ in range(n)
+        )
+    return int(rng.choice(MSG_SIZES))
+
+
+def _draw_fault_plan(rng: np.random.Generator, n: int) -> FaultPlan:
+    """Compose a random-but-survivable fault plan.
+
+    Every component is drawn independently; the retry budget is sized so
+    the peak drawn loss probability cannot realistically exhaust it (see
+    :data:`LOSS_PROBABILITIES`), keeping faulty fuzz runs deterministic in
+    outcome (they complete; the cost moves).
+    """
+    link_faults: tuple[LinkFault, ...] = ()
+    stragglers: tuple[Straggler, ...] = ()
+    losses: tuple[MessageLoss, ...] = ()
+
+    if rng.random() < 0.5:
+        end = float(rng.choice([500e-6, np.inf]))
+        link_faults = (
+            LinkFault(
+                alpha_factor=float(rng.uniform(1.0, 4.0)),
+                beta_factor=float(rng.uniform(0.3, 1.0)),
+                end=end,
+            ),
+        )
+    if rng.random() < 0.5 and n > 1:
+        ranks = rng.choice(n, size=min(2, n), replace=False)
+        stragglers = tuple(
+            Straggler(
+                rank=int(r),
+                compute_factor=float(rng.uniform(1.0, 8.0)),
+                startup_delay=float(rng.uniform(0.0, 200e-6)),
+            )
+            for r in sorted(int(r) for r in ranks)
+        )
+    roll = rng.random()
+    if roll < 0.4:
+        losses = (MessageLoss(probability=float(rng.choice(LOSS_PROBABILITIES))),)
+    elif roll < 0.55:
+        # Control-plane blackout: empty runtime window, but the peak
+        # probability makes negotiation-heavy setups infeasible — this is
+        # what drives the graceful-degradation fallback path.
+        losses = (MessageLoss(probability=0.9, start=0.0, end=0.0),)
+    return FaultPlan(
+        link_faults=link_faults,
+        stragglers=stragglers,
+        losses=losses,
+        retry=RetryPolicy(timeout=50e-6, backoff=2.0, max_retries=8),
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )

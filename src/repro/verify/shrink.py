@@ -1,0 +1,168 @@
+"""Greedy scenario minimization for failing fuzz trials.
+
+Given a failing :class:`~repro.verify.differential.TrialResult`, the
+shrinker repeatedly tries simplifying transformations — fewer nodes, fewer
+ranks per socket, sparser topology, smaller messages, fewer fault-plan
+components — and keeps any candidate that still violates at least one
+invariant from the original failure's signature.  The result is the small,
+human-debuggable scenario that repro files and promoted regression tests
+are written from.
+
+The predicate deliberately matches on the *invariant name set*, not the
+exact violation text: shrinking changes ranks and counts, so details drift
+while the failure class stays put.  Shrink trials run with
+``metamorphic=False`` (no extra derived simulations) — the signature
+membership test doesn't need them unless the original failure was itself
+metamorphic, in which case they stay on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.exec.spec import MachineSpec, TopologySpec
+from repro.verify.differential import TrialResult, run_trial
+from repro.verify.generators import Scenario
+
+#: Invariants whose checks require the metamorphic battery to re-trigger.
+_METAMORPHIC = frozenset(
+    {"size_monotonicity", "relabel_conservation", "payload_independence"}
+)
+
+#: Hard ceiling on candidate evaluations per shrink (each is ~3 sims).
+MAX_SHRINK_TRIALS = 80
+
+
+@dataclass
+class ShrinkOutcome:
+    """The minimized scenario plus the trial that still fails on it."""
+
+    scenario: Scenario
+    result: TrialResult
+    trials: int  #: candidate evaluations spent
+
+
+def shrink_scenario(
+    failing: TrialResult,
+    *,
+    corrupt: Callable[[dict], None] | None = None,
+    max_trials: int = MAX_SHRINK_TRIALS,
+) -> ShrinkOutcome:
+    """Greedily minimize ``failing.scenario`` while it keeps failing."""
+    signature = failing.signature()
+    metamorphic = bool(signature & _METAMORPHIC)
+
+    def still_fails(candidate: Scenario) -> TrialResult | None:
+        result = run_trial(candidate, corrupt=corrupt, metamorphic=metamorphic)
+        if result.signature() & signature:
+            return result
+        return None
+
+    best, best_result = failing.scenario, failing
+    trials = 0
+    progress = True
+    while progress and trials < max_trials:
+        progress = False
+        for candidate in _candidates(best):
+            if trials >= max_trials:
+                break
+            trials += 1
+            result = still_fails(candidate)
+            if result is not None:
+                best, best_result = candidate, result
+                progress = True
+                break  # restart candidate generation from the new best
+    return ShrinkOutcome(scenario=best, result=best_result, trials=trials)
+
+
+def _candidates(s: Scenario) -> Iterator[Scenario]:
+    """Simplification moves, most aggressive first.
+
+    Machine moves shrink the communicator (and the topology with it, since
+    ``topology.n`` must equal the machine's rank count); topology moves
+    sparsify; message moves shrink bytes; option moves strip fault-plan
+    components and finally the whole plan.
+    """
+    m = s.machine
+    # --- shrink the communicator --------------------------------------
+    for machine in (
+        MachineSpec(max(1, m.nodes // 2), m.sockets_per_node, m.ranks_per_socket),
+        MachineSpec(m.nodes, m.sockets_per_node, max(1, m.ranks_per_socket // 2)),
+        MachineSpec(m.nodes, 1, m.ranks_per_socket),
+        MachineSpec(max(1, m.nodes - 1), m.sockets_per_node, m.ranks_per_socket),
+        MachineSpec(m.nodes, m.sockets_per_node, max(1, m.ranks_per_socket - 1)),
+    ):
+        if machine != m and machine.n_ranks <= m.n_ranks:
+            yield s.with_(
+                machine=machine,
+                topology=_resize_topology(s.topology, machine.n_ranks),
+                msg_size=_resize_msg(s.msg_size, machine.n_ranks),
+            )
+    # --- sparsify the topology ----------------------------------------
+    t = s.topology
+    if t.kind == "random" and t.density:
+        for density in (t.density / 2, 0.0):
+            yield s.with_(topology=_replace_spec(t, density=density))
+    if t.kind == "random" and t.self_loops:
+        yield s.with_(topology=_replace_spec(t, self_loops=False))
+    if t.kind == "moore" and t.radius > 1:
+        yield s.with_(topology=_replace_spec(t, radius=1))
+    if t.kind in ("moore", "cartesian") and t.dims > 1:
+        yield s.with_(topology=_replace_spec(t, dims=1))
+    if t.kind == "scale_free" and t.edges_per_rank > 1:
+        yield s.with_(
+            topology=_replace_spec(t, edges_per_rank=t.edges_per_rank // 2)
+        )
+    if t.kind != "random":
+        # Structured kinds reduce to a sparse random graph when possible —
+        # random is the kind with the simplest knobs left to shrink.
+        yield s.with_(topology=TopologySpec("random", t.n, density=0.1, seed=0))
+    # --- shrink the message -------------------------------------------
+    if isinstance(s.msg_size, tuple):
+        yield s.with_(msg_size=max(s.msg_size, default=0))
+    elif s.msg_size > 0:
+        for msg in (s.msg_size // 2, 1, 0):
+            if msg < s.msg_size:
+                yield s.with_(msg_size=msg)
+    # --- strip fault-plan components ----------------------------------
+    plan = s.options.fault_plan
+    if plan is not None:
+        from dataclasses import replace as dc_replace
+
+        if plan.link_faults:
+            yield s.with_(options=dc_replace(
+                s.options, fault_plan=dc_replace(plan, link_faults=())
+            ))
+        if plan.stragglers:
+            yield s.with_(options=dc_replace(
+                s.options, fault_plan=dc_replace(plan, stragglers=())
+            ))
+        if plan.losses:
+            yield s.with_(options=dc_replace(
+                s.options, fault_plan=dc_replace(plan, losses=())
+            ))
+        yield s.with_(options=dc_replace(
+            s.options, fault_plan=None, fallback=None
+        ))
+
+
+def _replace_spec(t: TopologySpec, **changes) -> TopologySpec:
+    from dataclasses import replace
+
+    return replace(t, **changes)
+
+
+def _resize_topology(t: TopologySpec, n: int) -> TopologySpec:
+    if t.n == n:
+        return t
+    return _replace_spec(t, n=n)
+
+
+def _resize_msg(msg, n: int):
+    """Allgatherv block lists must track the (shrunk) communicator size."""
+    if isinstance(msg, tuple):
+        return msg[:n] if len(msg) >= n else msg + (msg[-1] if msg else 0,) * (
+            n - len(msg)
+        )
+    return msg

@@ -1,0 +1,127 @@
+"""Fuzz-promoted Distance Halving regressions.
+
+Each scenario below is the shrunk form of a fuzzer-drawn trial exercising
+a negotiation edge case — kept here (instead of as loose repro JSON files)
+so the full differential battery re-runs it on every CI pass:
+
+* **empty neighborhoods** — ranks with no in/out edges at all (density-0
+  and near-0 random graphs).  The builder must produce empty duty maps,
+  zero halving sends, and a no-op final phase for them, never a failed
+  agent search that blocks the level.
+* **self-loops** — MPI permits ``u -> u`` edges; the pattern must deliver
+  them as local copies (``self_copy``), not as simulated messages.
+* **single-socket communicators** — ``n <= ranks_per_socket`` means the
+  interval [0, n) is already at stop granularity: zero halving levels,
+  direct final-phase delivery only.
+"""
+
+import pytest
+
+from repro.collectives.distance_halving.builder import build_patterns
+from repro.collectives.runner import RunOptions
+from repro.exec.spec import MachineSpec, TopologySpec
+from repro.verify import Scenario, run_trial
+from repro.verify.invariants import check_dh_structure
+
+OPTIONS = RunOptions(trace=True)
+
+
+def _promoted(topology: TopologySpec, machine: MachineSpec,
+              msg_size=64) -> Scenario:
+    return Scenario(topology=topology, machine=machine, msg_size=msg_size,
+                    options=OPTIONS)
+
+
+#: The shrunk scenarios, by the edge case they pin.
+REPROS = {
+    # shrunk from fuzz (clean profile): density-0 graph — every
+    # neighborhood empty, nothing to negotiate, nothing to send.
+    "all_neighborhoods_empty": _promoted(
+        TopologySpec("random", 8, density=0.0, seed=0),
+        MachineSpec(nodes=1, sockets_per_node=2, ranks_per_socket=4),
+    ),
+    # near-0 density: isolated ranks coexist with a few connected ones, so
+    # agent searches run with empty duty sets in half the interval.
+    "mostly_empty_neighborhoods": _promoted(
+        TopologySpec("random", 16, density=0.05, seed=3),
+        MachineSpec(nodes=2, sockets_per_node=2, ranks_per_socket=4),
+    ),
+    # self-loops only (plus sparse edges): delivery must happen without a
+    # single simulated self-message.
+    "self_loops": _promoted(
+        TopologySpec("random", 8, density=0.3, seed=5, self_loops=True),
+        MachineSpec(nodes=1, sockets_per_node=2, ranks_per_socket=4),
+    ),
+    # single socket: halving never runs; the final phase alone must cover
+    # every edge.
+    "single_socket": _promoted(
+        TopologySpec("random", 4, density=0.6, seed=1),
+        MachineSpec(nodes=1, sockets_per_node=1, ranks_per_socket=4),
+    ),
+    # single rank with a self-loop: the most degenerate communicator the
+    # generator can draw (n=1 machines are legal MPI_COMM_SELF analogues).
+    "single_rank_self_loop": _promoted(
+        TopologySpec("random", 1, density=1.0, seed=0, self_loops=True),
+        MachineSpec(nodes=1, sockets_per_node=1, ranks_per_socket=1),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(REPROS), ids=str)
+def test_promoted_repro_passes_full_battery(name):
+    scenario = REPROS[name]
+    trial = run_trial(scenario)
+    assert trial.ok, "\n".join(str(v) for v in trial.violations)
+
+
+@pytest.mark.parametrize("name", sorted(REPROS), ids=str)
+def test_promoted_repro_dh_structure(name):
+    scenario = REPROS[name]
+    assert check_dh_structure(scenario, scenario.topology.build()) == []
+
+
+class TestEdgeCaseStructure:
+    """Sharper structural claims than the generic battery makes."""
+
+    def test_empty_neighborhoods_send_nothing(self):
+        scenario = REPROS["all_neighborhoods_empty"]
+        topology, machine = scenario.topology.build(), scenario.machine.build()
+        pattern = build_patterns(topology, machine)
+        for rp in pattern.ranks:
+            assert rp.final_sends == [] and rp.final_recvs == []
+            assert not rp.self_copy
+        run = run_trial(scenario).runs["distance_halving"]
+        assert run.messages_sent == 0  # local spawn ticks only, no traffic
+        assert all(not r for r in run.results)
+
+    def test_self_loops_become_local_copies(self):
+        scenario = REPROS["self_loops"]
+        topology, machine = scenario.topology.build(), scenario.machine.build()
+        pattern = build_patterns(topology, machine)
+        for rp in pattern.ranks:
+            assert rp.self_copy == topology.has_edge(rp.rank, rp.rank)
+        trial = run_trial(scenario)
+        # A self-loop delivery never crosses the fabric as a message.
+        trace = trial.runs["distance_halving"].trace
+        assert all(rec.src != rec.dst for rec in trace.records)
+
+    def test_single_socket_skips_halving_entirely(self):
+        scenario = REPROS["single_socket"]
+        topology, machine = scenario.topology.build(), scenario.machine.build()
+        pattern = build_patterns(topology, machine)
+        assert pattern.stats.levels == 0
+        assert all(rp.steps == [] for rp in pattern.ranks)
+        # Every edge is a direct final-phase delivery.
+        delivered = {
+            (fr.sender, rp.rank)
+            for rp in pattern.ranks for fr in rp.final_recvs
+        }
+        expected = {(u, v) for u, v in topology.edges() if u != v}
+        assert delivered == expected
+
+    def test_single_rank_is_a_pure_local_copy(self):
+        scenario = REPROS["single_rank_self_loop"]
+        trial = run_trial(scenario)
+        run = trial.runs["distance_halving"]
+        assert run.messages_sent == 0
+        assert run.results[0] == {0: 0}

@@ -48,6 +48,25 @@ class TestRoundTrip:
         assert restored.block_sizes == run.block_sizes
         assert restored == run
 
+    def test_slim_preserves_trace_summary(self, small_machine, small_topology):
+        # The repro.verify conservation checks run on trace_summary after
+        # cache round-trips: slim() may drop the TraceCollector (closed
+        # over simulator state) but never the per-class aggregates.
+        run = make_run(small_machine, small_topology, trace=True)
+        assert run.trace_summary is not None
+        slim = run.slim()
+        assert slim.trace is None
+        assert slim.trace_summary == run.trace_summary
+        restored = run_from_dict(json.loads(json.dumps(run_to_dict(slim))))
+        assert restored.trace_summary == run.trace_summary
+        total = sum(c["messages"] for c in restored.trace_summary.values())
+        assert total == run.messages_sent
+
+    def test_untraced_run_has_no_trace_summary(self, small_machine, small_topology):
+        run = make_run(small_machine, small_topology).slim()
+        assert run.trace_summary is None
+        assert run_from_dict(run_to_dict(run)).trace_summary is None
+
 
 class TestGuards:
     def test_traced_run_rejected(self, small_machine, small_topology):

@@ -1,0 +1,127 @@
+"""Trace conservation laws on the golden grid, across execution modes.
+
+Two claims, both resting on ``AllgatherRun.trace_summary`` (the per-class
+aggregates that survive :meth:`AllgatherRun.slim`):
+
+1. On every golden-grid scenario (the machines x algorithms grid pinned by
+   ``test_golden_times``) the aggregates obey the conservation laws: trace
+   totals equal the engine counters, bytes delivered equal bytes sent per
+   class (no faults), and every message takes exactly one attempt.
+2. The aggregates are *identical* — not merely law-abiding — whether a
+   spec executes serially in-process, through a process pool, or is
+   answered from the content-addressed result cache.
+"""
+
+import math
+
+import pytest
+
+from repro.collectives.runner import RunOptions
+from repro.exec import ResultCache, RunSpec, execute
+from repro.exec.spec import MachineSpec, TopologySpec
+
+#: Mirrors the golden-grid machines (tests/sim/test_golden_times.py) as
+#: specs: (name, machine spec, topology spec).  single_switch_8 is absent
+#: because RunSpec only describes niagara_like machines.
+GRID = [
+    (
+        "niagara_32",
+        MachineSpec(nodes=4, sockets_per_node=2, ranks_per_socket=4),
+        TopologySpec("random", 32, density=0.3, seed=1234),
+    ),
+    (
+        "niagara_16",
+        MachineSpec(nodes=2, sockets_per_node=2, ranks_per_socket=4),
+        TopologySpec("random", 16, density=0.4, seed=7),
+    ),
+]
+
+ALGORITHMS = ("naive", "common_neighbor", "distance_halving")
+
+
+def grid_specs() -> list[RunSpec]:
+    return [
+        RunSpec(
+            algorithm=algorithm,
+            topology=topology,
+            machine=machine,
+            msg_size=2048,
+            options=RunOptions(trace=True),
+        )
+        for _, machine, topology in GRID
+        for algorithm in ALGORITHMS
+    ]
+
+
+def _check_laws(run) -> None:
+    summary = run.trace_summary
+    assert summary is not None
+    messages = sum(c["messages"] for c in summary.values())
+    nbytes = sum(c["bytes"] for c in summary.values())
+    assert messages == run.messages_sent
+    assert nbytes == run.bytes_sent
+    for counters in summary.values():
+        # No fault plan: everything sent is delivered, on the first attempt.
+        assert counters["delivered_messages"] == counters["messages"]
+        assert counters["delivered_bytes"] == counters["bytes"]
+        assert counters["lost_messages"] == 0
+        assert counters["attempts"] == counters["messages"]
+
+
+class TestConservationLaws:
+    @pytest.mark.parametrize(
+        "spec", grid_specs(),
+        ids=lambda s: f"{s.topology.n}-{s.algorithm}",
+    )
+    def test_golden_grid_obeys_conservation(self, spec):
+        run = spec.run()
+        _check_laws(run)
+        assert math.isfinite(run.simulated_time)
+
+    def test_live_trace_matches_summary(self):
+        # The JSON aggregates must agree with the live TraceCollector they
+        # were snapshotted from.
+        run = grid_specs()[0].run()
+        assert run.trace is not None
+        assert run.trace.summary() == run.trace_summary
+
+
+class TestExecutionModeEquivalence:
+    """serial == parallel == cached, per link class, message and byte."""
+
+    def test_summaries_identical_across_modes(self, tmp_path):
+        specs = grid_specs()
+        serial = execute(specs, workers=1).raise_errors()
+        parallel = execute(specs, workers=2).raise_errors()
+        cache = ResultCache(cache_dir=tmp_path)
+        cold = execute(specs, cache=cache).raise_errors()
+        warm = execute(specs, cache=cache).raise_errors()
+        assert warm.stats["from_cache"] == len(specs)
+
+        for spec, a, b, c, d in zip(
+            specs, serial.runs, parallel.runs, cold.runs, warm.runs
+        ):
+            assert a.trace_summary is not None, spec.label()
+            assert a.trace_summary == b.trace_summary, spec.label()
+            assert a.trace_summary == c.trace_summary, spec.label()
+            assert a.trace_summary == d.trace_summary, spec.label()
+            _check_laws(a)
+
+    def test_cached_summary_supports_conservation_checks(self, tmp_path):
+        # End to end through repro.verify: the conservation checker accepts
+        # a cache-restored (slim, trace-free) run.
+        from repro.verify import Scenario
+        from repro.verify.invariants import check_trace_conservation
+
+        spec = grid_specs()[0]
+        cache = ResultCache(cache_dir=tmp_path)
+        execute([spec], cache=cache).raise_errors()
+        restored = execute([spec], cache=cache).raise_errors().runs[0]
+        assert restored.trace is None  # cache stores slim runs only
+        scenario = Scenario(
+            topology=spec.topology,
+            machine=spec.machine,
+            msg_size=spec.msg_size,
+            options=spec.options,
+        )
+        assert check_trace_conservation(scenario, {spec.algorithm: restored}) == []

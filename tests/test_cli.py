@@ -156,3 +156,28 @@ class TestExecFlags:
                      "--workers", "2"]) == 0
         second = json.loads((isolated_results / "fig2_model.json").read_text())
         assert first == second
+
+
+class TestFuzz:
+    def test_clean_campaign_exits_zero(self, tmp_path, capsys):
+        assert main(["fuzz", "--seed", "0", "--iterations", "15",
+                     "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "15 iteration(s) clean" in out
+        assert not list(tmp_path.iterdir())
+
+    def test_injected_bug_exits_one_with_repro(self, tmp_path, capsys):
+        assert main(["fuzz", "--iterations", "10",
+                     "--inject-bug", "payload-corruption",
+                     "--out-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAILURE" in out and "shrunk to" in out
+        repros = list(tmp_path.glob("repro_*.json"))
+        assert len(repros) == 1
+        # ... and --replay on the written file still reproduces.
+        assert main(["fuzz", "--replay", str(repros[0])]) == 1
+        assert "violation(s)" in capsys.readouterr().out
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--profile", "chaotic"])

@@ -1,0 +1,94 @@
+"""Scenario generation: deterministic, replayable, within bounds."""
+
+import pytest
+
+from repro.verify import PROFILES, Scenario, ScenarioConfig, generate_scenario
+
+
+class TestDeterminism:
+    def test_same_seed_iteration_same_scenario(self):
+        for i in range(20):
+            assert generate_scenario(7, i) == generate_scenario(7, i)
+
+    def test_scenarios_vary_across_iterations(self):
+        scenarios = {generate_scenario(0, i) for i in range(30)}
+        assert len(scenarios) > 20  # frozen dataclasses: set dedup works
+
+    def test_seed_changes_the_stream(self):
+        a = [generate_scenario(0, i) for i in range(10)]
+        b = [generate_scenario(1, i) for i in range(10)]
+        assert a != b
+
+
+class TestBounds:
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_ranks_and_topology_within_config(self, profile):
+        config = ScenarioConfig(profile=profile)
+        cap = (config.max_nodes * config.max_sockets_per_node
+               * config.max_ranks_per_socket)
+        for i in range(50):
+            s = generate_scenario(3, i, config)
+            assert 1 <= s.n_ranks <= cap
+            assert s.topology.n == s.machine.n_ranks
+            assert s.options.trace  # conservation checks need aggregates
+            assert s.options.max_events == config.max_events
+
+    def test_clean_profile_never_draws_faults(self):
+        for i in range(50):
+            s = generate_scenario(0, i)
+            assert s.options.fault_plan is None
+            assert s.options.fallback is None
+
+    def test_faulty_profile_always_has_a_plan_and_fallback(self):
+        config = ScenarioConfig(profile="faulty")
+        for i in range(50):
+            s = generate_scenario(0, i, config)
+            assert s.options.fault_plan is not None
+            assert s.options.fallback == "naive"
+
+    def test_faulty_stragglers_reference_real_ranks(self):
+        config = ScenarioConfig(profile="faulty")
+        for i in range(80):
+            s = generate_scenario(1, i, config)
+            for straggler in s.options.fault_plan.stragglers:
+                assert 0 <= straggler.rank < s.n_ranks
+
+    def test_generator_covers_degenerate_shapes(self):
+        # The bug classes the satellites pin (empty neighborhoods,
+        # self-loops, single-socket machines) must actually be drawable.
+        seen_empty = seen_loops = seen_single_socket = False
+        for i in range(200):
+            s = generate_scenario(0, i)
+            if s.topology.kind == "random" and s.topology.density == 0.0:
+                seen_empty = True
+            if s.topology.kind == "random" and s.topology.self_loops:
+                seen_loops = True
+            if s.machine.sockets_per_node == 1 and s.machine.nodes == 1:
+                seen_single_socket = True
+        assert seen_empty and seen_loops and seen_single_socket
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="profile"):
+            ScenarioConfig(profile="chaotic")
+
+
+class TestSerde:
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_round_trip_is_exact(self, profile):
+        config = ScenarioConfig(profile=profile)
+        for i in range(30):
+            s = generate_scenario(5, i, config)
+            assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_round_trip_preserves_spec_digests(self):
+        s = generate_scenario(2, 11)
+        restored = Scenario.from_dict(s.to_dict())
+        for algorithm in ("naive", "distance_halving"):
+            assert (restored.spec_for(algorithm).digest()
+                    == s.spec_for(algorithm).digest())
+
+    def test_unknown_format_rejected(self):
+        data = generate_scenario(0, 0).to_dict()
+        data["format"] = 999
+        with pytest.raises(ValueError, match="format"):
+            Scenario.from_dict(data)

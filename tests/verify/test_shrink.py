@@ -1,0 +1,107 @@
+"""The shrinker: minimizes while preserving the failure signature."""
+
+from repro.exec.spec import MachineSpec, TopologySpec
+from repro.collectives.runner import RunOptions
+from repro.sim.faults import FaultPlan, LinkFault, MessageLoss, Straggler
+from repro.verify import Scenario, run_trial, shrink_scenario
+from repro.verify.differential import make_bug
+from repro.verify.shrink import _candidates
+
+
+def _failing_trial(scenario):
+    corrupt = make_bug("payload-corruption")
+    trial = run_trial(scenario, corrupt=corrupt)
+    assert not trial.ok
+    return trial, corrupt
+
+
+class TestShrinking:
+    def test_shrinks_machine_message_and_density(self):
+        scenario = Scenario(
+            topology=TopologySpec("random", 32, density=0.6, seed=4),
+            machine=MachineSpec(nodes=4, sockets_per_node=2,
+                                ranks_per_socket=4),
+            msg_size=65536,
+            options=RunOptions(trace=True),
+        )
+        trial, corrupt = _failing_trial(scenario)
+        outcome = shrink_scenario(trial, corrupt=corrupt)
+        assert outcome.scenario.n_ranks < scenario.n_ranks
+        assert outcome.scenario.msg_size < scenario.msg_size
+        assert not outcome.result.ok
+        # Whatever is left still violates part of the original signature.
+        assert outcome.result.signature() & trial.signature()
+
+    def test_keeps_edges_the_bug_needs(self):
+        # payload-corruption needs at least one delivered block, so the
+        # shrinker must not minimize to a scenario with no edges at all.
+        scenario = Scenario(
+            topology=TopologySpec("random", 16, density=0.5, seed=1),
+            machine=MachineSpec(nodes=2, sockets_per_node=2,
+                                ranks_per_socket=4),
+            msg_size=512,
+            options=RunOptions(trace=True),
+        )
+        trial, corrupt = _failing_trial(scenario)
+        outcome = shrink_scenario(trial, corrupt=corrupt)
+        assert outcome.scenario.topology.build().n_edges > 0
+
+    def test_strips_irrelevant_fault_plan(self):
+        plan = FaultPlan(
+            link_faults=(LinkFault(alpha_factor=2.0),),
+            stragglers=(Straggler(rank=1, compute_factor=4.0),),
+            losses=(MessageLoss(probability=0.02),),
+            seed=5,
+        )
+        scenario = Scenario(
+            topology=TopologySpec("random", 16, density=0.4, seed=2),
+            machine=MachineSpec(nodes=2, sockets_per_node=2,
+                                ranks_per_socket=4),
+            msg_size=512,
+            options=RunOptions(trace=True, fault_plan=plan, fallback="naive"),
+            profile="faulty",
+        )
+        trial, corrupt = _failing_trial(scenario)
+        outcome = shrink_scenario(trial, corrupt=corrupt)
+        # The corruption bug has nothing to do with faults: the whole plan
+        # must shrink away.
+        assert outcome.scenario.options.fault_plan is None
+
+    def test_bounded_trials(self):
+        scenario = Scenario(
+            topology=TopologySpec("random", 24, density=0.5, seed=3),
+            machine=MachineSpec(nodes=3, sockets_per_node=2,
+                                ranks_per_socket=4),
+            msg_size=4096,
+            options=RunOptions(trace=True),
+        )
+        trial, corrupt = _failing_trial(scenario)
+        outcome = shrink_scenario(trial, corrupt=corrupt, max_trials=10)
+        assert outcome.trials <= 10
+        assert not outcome.result.ok
+
+
+class TestCandidates:
+    def test_candidates_keep_topology_and_machine_consistent(self):
+        scenario = Scenario(
+            topology=TopologySpec("random", 16, density=0.3, seed=0),
+            machine=MachineSpec(nodes=2, sockets_per_node=2,
+                                ranks_per_socket=4),
+            msg_size=(64,) * 16,
+            options=RunOptions(trace=True),
+        )
+        for candidate in _candidates(scenario):
+            assert candidate.topology.n == candidate.machine.n_ranks
+            if isinstance(candidate.msg_size, tuple):
+                assert len(candidate.msg_size) == candidate.topology.n
+
+    def test_structured_kinds_offer_a_random_reduction(self):
+        scenario = Scenario(
+            topology=TopologySpec("moore", 16, radius=2, dims=2),
+            machine=MachineSpec(nodes=2, sockets_per_node=2,
+                                ranks_per_socket=4),
+            msg_size=64,
+            options=RunOptions(trace=True),
+        )
+        kinds = {c.topology.kind for c in _candidates(scenario)}
+        assert "random" in kinds
