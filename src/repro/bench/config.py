@@ -124,6 +124,7 @@ class SweepConfig:
     use_cache: bool = False
     smoke: bool = False
     repeats: int = 3
+    sim_mode: str = "des"
     _cache: "ResultCache | None" = field(default=None, repr=False, compare=False)
 
     def resolve_scale(self, override: BenchScale | None = None) -> BenchScale:
@@ -132,6 +133,16 @@ class SweepConfig:
 
     def resolve_seed(self, default: int) -> int:
         return self.seed if self.seed is not None else default
+
+    def run_options(self):
+        """The :class:`~repro.collectives.runner.RunOptions` for this
+        config's ``sim_mode`` (shared default object when ``"des"``, so
+        spec digests — and therefore cached results — are unchanged)."""
+        from repro.collectives.runner import DEFAULT_OPTIONS, RunOptions
+
+        if self.sim_mode == "des":
+            return DEFAULT_OPTIONS
+        return RunOptions(sim_mode=self.sim_mode)
 
     def cache(self) -> "ResultCache | None":
         """The shared :class:`ResultCache` (one instance, aggregated stats)."""

@@ -215,13 +215,20 @@ def fig5_speedup_scaling(
     rank_counts = [scale.ranks, scale.ranks // 2, scale.ranks // 4]
     per_node = 2 * scale.ranks_per_socket
     rank_counts = [max(per_node, (r // per_node) * per_node) for r in rank_counts]
+    rps_for = {r: scale.ranks_per_socket for r in rank_counts}
+    if scale.name == "paper" and scale.moore_ranks not in rank_counts:
+        # The paper's fourth communicator size: the 2048-rank Moore graph
+        # population, which tiles 32-rank nodes (16 ranks per socket).
+        rank_counts.insert(1, scale.moore_ranks)
+        rps_for[scale.moore_ranks] = 16
 
+    options = cfg.run_options()
     variants = [("naive", {}, "naive"), ("distance_halving", {}, "dh")] + [
         ("common_neighbor", {"k": k}, f"cn{k}") for k in DEFAULT_CN_KS
     ]
     keyed_specs = []
     for n_ranks in rank_counts:
-        machine_spec = MachineSpec.for_ranks(n_ranks, scale.ranks_per_socket)
+        machine_spec = MachineSpec.for_ranks(n_ranks, rps_for[n_ranks])
         for density in scale.densities:
             topo_spec = TopologySpec("random", n_ranks, density=density, seed=seed)
             for size in sizes:
@@ -229,7 +236,7 @@ def fig5_speedup_scaling(
                     keyed_specs.append(
                         ((n_ranks, density, size, label),
                          RunSpec(alg, topo_spec, machine_spec, size,
-                                 algorithm_kwargs=kwargs))
+                                 algorithm_kwargs=kwargs, options=options))
                     )
     runs = _run_grid(cfg, keyed_specs, verbose)
 

@@ -145,6 +145,61 @@ def smoke_sweep(
     }
 
 
+def paper_smoke_sweep(
+    config: SweepConfig | None = None,
+    *,
+    ranks: int = 2160,
+    ranks_per_socket: int = 18,
+    densities: tuple[float, ...] = (0.1, 0.3),
+    sizes: tuple[str, ...] = ("8KB",),
+    seed: int = 23,
+) -> dict[str, Any]:
+    """Reduced Fig. 5 slice at full paper scale, hybrid (auto) mode.
+
+    Same shape as :func:`smoke_sweep` but at the paper's 2160-rank Niagara
+    footprint, forced through ``sim_mode="auto"`` so every stage is either
+    costed analytically or replayed on the compiled fast path — a pure-DES
+    pass at this scale would take minutes per spec.  The grid is fixed, so
+    a warm cache answers the whole slice; CI gates on both the cold pass's
+    wall clock and the warm pass's hit rate.
+    """
+    cfg = config or SweepConfig()
+    from repro.collectives.runner import RunOptions
+
+    options = RunOptions(sim_mode="auto")
+    machine = MachineSpec.for_ranks(ranks, ranks_per_socket)
+    keyed: list[tuple[tuple, RunSpec]] = []
+    for density in densities:
+        topology = TopologySpec("random", ranks, density=density, seed=seed)
+        for size in sizes:
+            for name, kwargs in SMOKE_ALGORITHMS:
+                keyed.append((
+                    (name, density, parse_size(size)),
+                    RunSpec(name, topology, machine, size,
+                            algorithm_kwargs=kwargs, options=options),
+                ))
+    sweep = cfg.run([spec for _, spec in keyed]).raise_errors()
+    records = [
+        {
+            "algorithm": name,
+            "density": density,
+            "msg_bytes": msg_bytes,
+            "simulated_time": run.simulated_time,
+            "messages": run.messages_sent,
+            "sim_path": run.sim_path,
+        }
+        for ((name, density, msg_bytes), _), run in zip(keyed, sweep.runs)
+    ]
+    return {
+        "experiment": "paper_smoke_sweep",
+        "ranks": ranks,
+        "seed": seed,
+        "sim_mode": "auto",
+        "records": records,
+        "execution": sweep.stats,
+    }
+
+
 def speedup_over(
     baseline: list[SweepRecord], contender: list[SweepRecord]
 ) -> list[tuple[int, float]]:

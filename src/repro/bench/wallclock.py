@@ -51,6 +51,11 @@ CN_K = 4
 #: Grid subset of the Fig. 5 configuration used for the full harness run.
 FULL_DENSITIES = (0.1, 0.3)
 FULL_SIZES = ("8", "8KB", "512KB")
+#: Valid per-case timing modes (see :class:`WallclockCase.sim_mode`).
+SIM_MODES = ("compare", "des", "auto")
+#: Paper-scale communicator sizes (Fig. 5 x-axis), with the socket widths
+#: that tile them into 2-socket nodes (2048 is the Moore-graph size).
+PAPER_RANKS = ((2160, 18), (2048, 16), (1080, 18), (540, 18))
 
 _REPO_ROOT = Path(__file__).resolve().parents[3]
 #: Recorded pre-optimization wall/sim numbers (committed; same-host medians).
@@ -61,13 +66,27 @@ DEFAULT_GOLDEN = _REPO_ROOT / "results_medium" / "fig5_speedup_scaling.json"
 
 @dataclass(frozen=True)
 class WallclockCase:
-    """One (algorithm, communicator, density, size) cell of the grid."""
+    """One (algorithm, communicator, density, size) cell of the grid.
+
+    ``sim_mode`` selects what gets timed: ``"compare"`` times the DES and
+    the hybrid fast path back to back (asserting bit-identical simulation
+    results), ``"des"``/``"auto"`` time a single path.  Paper-scale cases
+    use ``"auto"`` — a 2160-rank DES run is minutes of wall clock, which is
+    exactly what the hybrid path exists to avoid.
+    """
 
     algorithm: str
     ranks: int
     ranks_per_socket: int
     density: float
     msg_bytes: int
+    sim_mode: str = "compare"
+
+    def __post_init__(self) -> None:
+        if self.sim_mode not in SIM_MODES:
+            raise ValueError(
+                f"sim_mode must be one of {SIM_MODES}, got {self.sim_mode!r}"
+            )
 
     @property
     def key(self) -> tuple:
@@ -82,16 +101,39 @@ class WallclockCase:
 
 @dataclass
 class CaseResult:
-    """Timing + invariants for one case over ``repeats`` runs."""
+    """Timing + invariants for one case over ``repeats`` runs.
+
+    ``wall_seconds`` holds the primary path's walls (the DES for
+    ``"compare"``/``"des"`` cases, the hybrid path for ``"auto"`` cases);
+    ``wall_seconds_auto`` holds the hybrid walls of a ``"compare"`` case.
+    ``sim_path`` records which fast-path tier the hybrid run took
+    (``"fastpath"`` exact replay or ``"analytic"`` closed form).
+    """
 
     case: WallclockCase
     simulated_time: float
     messages_sent: int
     wall_seconds: list[float] = field(default_factory=list)
+    wall_seconds_auto: list[float] | None = None
+    sim_path: str | None = None
 
     @property
     def wall_median(self) -> float:
         return statistics.median(self.wall_seconds)
+
+    @property
+    def wall_median_auto(self) -> float | None:
+        if not self.wall_seconds_auto:
+            return None
+        return statistics.median(self.wall_seconds_auto)
+
+    @property
+    def speedup_auto(self) -> float | None:
+        """Hybrid-path speedup over the DES for ``"compare"`` cases."""
+        auto = self.wall_median_auto
+        if auto is None or auto <= 0:
+            return None
+        return self.wall_median / auto
 
     @property
     def sim_messages_per_sec(self) -> float:
@@ -100,25 +142,35 @@ class CaseResult:
         return self.messages_sent / med if med > 0 else float("inf")
 
     def to_record(self) -> dict[str, Any]:
-        return {
+        record = {
             "algorithm": self.case.algorithm,
             "ranks": self.case.ranks,
             "density": self.case.density,
             "msg_bytes": self.case.msg_bytes,
+            "sim_mode": self.case.sim_mode,
             "simulated_time": self.simulated_time,
             "messages_sent": self.messages_sent,
             "wall_median": self.wall_median,
             "wall_seconds": self.wall_seconds,
             "sim_messages_per_sec": self.sim_messages_per_sec,
         }
+        if self.sim_path is not None:
+            record["sim_path"] = self.sim_path
+        if self.wall_seconds_auto:
+            record["wall_seconds_auto"] = self.wall_seconds_auto
+            record["wall_median_auto"] = self.wall_median_auto
+            record["speedup_auto"] = self.speedup_auto
+        return record
 
 
-def build_cases(scale: BenchScale, smoke: bool = False) -> list[WallclockCase]:
+def build_cases(scale: BenchScale, smoke: bool = False,
+                sim_mode: str = "compare") -> list[WallclockCase]:
     """The harness grid: a Fig. 5-shaped subset at the given scale.
 
     ``smoke`` shrinks to a two-node machine and one (density, size) cell so
     the harness itself can run inside the tier-1 test suite in well under a
-    second per algorithm.
+    second per algorithm.  ``sim_mode`` is stamped on every case (see
+    :class:`WallclockCase`).
     """
     if smoke:
         ranks = 4 * scale.ranks_per_socket  # two nodes x two sockets
@@ -128,8 +180,27 @@ def build_cases(scale: BenchScale, smoke: bool = False) -> list[WallclockCase]:
             (scale.ranks, d, s) for d in FULL_DENSITIES for s in FULL_SIZES
         ]
     return [
-        WallclockCase(alg, ranks, scale.ranks_per_socket, density, parse_size(size))
+        WallclockCase(alg, ranks, scale.ranks_per_socket, density,
+                      parse_size(size), sim_mode=sim_mode)
         for (ranks, density, size) in grid
+        for alg in ALGORITHMS
+    ]
+
+
+def paper_scale_cases(repeats_density: float = 0.3,
+                      size: str = "8KB") -> list[WallclockCase]:
+    """Hybrid-path cases at the paper's Fig. 5 communicator sizes.
+
+    These run ``sim_mode="auto"`` only: the point is that the hybrid path
+    makes the 540-2160-rank sweep wall-clock tolerable, and a DES
+    comparison at 2160 ranks would take minutes per cell.  Sim-time
+    correctness at these scales is covered by the hybrid/DES equivalence
+    property suite at smaller sizes plus the golden medium-grid check.
+    """
+    return [
+        WallclockCase(alg, ranks, rps, repeats_density, parse_size(size),
+                      sim_mode="auto")
+        for (ranks, rps) in PAPER_RANKS
         for alg in ALGORITHMS
     ]
 
@@ -141,17 +212,44 @@ def _run_case(case: WallclockCase, repeats: int, check_trace: bool) -> CaseResul
     algorithm = get_algorithm(case.algorithm, **kwargs)
     algorithm.setup(topology, machine)  # pay pattern creation once, outside timing
 
+    primary = "auto" if case.sim_mode == "auto" else "des"
+    options = RunOptions(sim_mode=primary)
     result: CaseResult | None = None
     for _ in range(repeats):
-        run = run_allgather(algorithm, topology, machine, case.msg_bytes)
+        run = run_allgather(algorithm, topology, machine, case.msg_bytes,
+                            options=options)
         if result is None:
             result = CaseResult(case, run.simulated_time, run.messages_sent)
+            if primary == "auto":
+                result.sim_path = run.sim_path
         elif run.simulated_time != result.simulated_time:
             raise RuntimeError(
                 f"non-deterministic simulated_time for {case.label()}: "
                 f"{run.simulated_time!r} != {result.simulated_time!r}"
             )
         result.wall_seconds.append(run.wall_time)
+
+    if case.sim_mode == "compare":
+        # Time the hybrid path against the DES walls just measured, and
+        # assert the two paths agree bit-for-bit — the harness is also the
+        # accuracy gate for sim_mode="auto" on the real bench grid.
+        auto_options = RunOptions(sim_mode="auto")
+        result.wall_seconds_auto = []
+        for _ in range(repeats):
+            run = run_allgather(algorithm, topology, machine, case.msg_bytes,
+                                options=auto_options)
+            if result.sim_path is None:
+                result.sim_path = run.sim_path
+            if (
+                run.simulated_time != result.simulated_time
+                or run.messages_sent != result.messages_sent
+            ):
+                raise RuntimeError(
+                    f"hybrid path diverged from the DES for {case.label()}: "
+                    f"auto ({run.simulated_time!r}, {run.messages_sent}) vs "
+                    f"des ({result.simulated_time!r}, {result.messages_sent})"
+                )
+            result.wall_seconds_auto.append(run.wall_time)
 
     if check_trace:
         traced = run_allgather(
@@ -170,11 +268,31 @@ def _run_case(case: WallclockCase, repeats: int, check_trace: bool) -> CaseResul
     return result
 
 
+def _load_reference(path: Path, what: str) -> dict[str, Any]:
+    """Read a reference JSON payload; corrupt files are operator errors.
+
+    A *missing* reference is fine (the check is skipped by the caller), but
+    an unreadable or syntactically invalid file must fail with one clear
+    message instead of a JSON traceback — the CLI turns this into a
+    non-zero exit.
+    """
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"corrupt or unreadable {what} file {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"corrupt {what} file {path}: expected a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    return payload
+
+
 def _check_golden(results: list[CaseResult], golden_path: Path) -> dict[str, Any] | None:
     """Assert bit-identical sim times against the archived Fig. 5 rows."""
     if not golden_path.is_file():
         return None
-    payload = json.loads(golden_path.read_text())
+    payload = _load_reference(golden_path, "golden Fig. 5")
     by_cell: dict[tuple, dict] = {
         (row["ranks"], row["density"], row["msg_size"]): row
         for row in payload.get("rows", [])
@@ -208,7 +326,7 @@ def _check_baseline(
     """Assert sim-time equivalence with the recorded baseline; report speedup."""
     if not baseline_path.is_file():
         return None
-    payload = json.loads(baseline_path.read_text())
+    payload = _load_reference(baseline_path, "baseline")
     by_key = {
         (r["algorithm"], r["ranks"], r["density"], r["msg_bytes"]): r
         for r in payload.get("cases", [])
@@ -257,6 +375,8 @@ def wallclock_bench(
     golden_path: str | Path | None = None,
     record_baseline: bool = False,
     verbose: bool = False,
+    sim_mode: str = "compare",
+    paper_scales: bool = False,
 ) -> dict[str, Any]:
     """Run the wall-clock harness; returns (and writes) the report payload.
 
@@ -264,14 +384,23 @@ def wallclock_bench(
     (default ``benchmarks/baseline_sim_core.json``) instead of comparing
     against it — run this once *before* an optimization lands, on the same
     host that will evaluate it.
+
+    ``sim_mode`` selects the per-case timing mode for the grid cases
+    (``"compare"`` times DES and hybrid back to back; ``"des"``/``"auto"``
+    time one path).  ``paper_scales=True`` appends hybrid-only cases at the
+    paper's 540/1080/2048/2160-rank communicator sizes.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if sim_mode not in SIM_MODES:
+        raise ValueError(f"sim_mode must be one of {SIM_MODES}, got {sim_mode!r}")
     scale = scale or get_scale()
     baseline_path = Path(baseline_path) if baseline_path else DEFAULT_BASELINE
     golden_path = Path(golden_path) if golden_path else DEFAULT_GOLDEN
 
-    cases = build_cases(scale, smoke=smoke)
+    cases = build_cases(scale, smoke=smoke, sim_mode=sim_mode)
+    if paper_scales:
+        cases.extend(paper_scale_cases())
     results: list[CaseResult] = []
     for i, case in enumerate(cases):
         # Trace invariance is cheap at smoke size (check every case); at full
@@ -280,9 +409,12 @@ def wallclock_bench(
         results.append(_run_case(case, repeats, check_trace))
         if verbose:
             res = results[-1]
+            auto = (f"  auto={res.wall_median_auto * 1e3:8.2f} ms "
+                    f"({res.speedup_auto:.2f}x)"
+                    if res.wall_median_auto is not None else "")
             print(
                 f"  {case.label():<48} wall={res.wall_median * 1e3:8.2f} ms  "
-                f"{res.sim_messages_per_sec / 1e3:8.1f} kmsg/s"
+                f"{res.sim_messages_per_sec / 1e3:8.1f} kmsg/s{auto}"
             )
 
     payload: dict[str, Any] = {
@@ -293,10 +425,26 @@ def wallclock_bench(
         "seed": FIG5_SEED,
         "cn_k": CN_K,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "sim_mode": sim_mode,
         "total_wall_median": sum(r.wall_median for r in results),
         "total_messages": sum(r.messages_sent for r in results),
         "cases": [r.to_record() for r in results],
     }
+    compared = [r for r in results if r.wall_median_auto is not None]
+    if compared:
+        des_total = sum(r.wall_median for r in compared)
+        auto_total = sum(r.wall_median_auto for r in compared)
+        payload["hybrid"] = {
+            "compared_cases": len(compared),
+            "des_total_wall": des_total,
+            "auto_total_wall": auto_total,
+            "speedup_auto_total": (des_total / auto_total
+                                   if auto_total > 0 else float("inf")),
+            "speedup_auto_geomean": geometric_mean(
+                [r.speedup_auto for r in compared if r.speedup_auto]
+            ),
+            "sim_time_identical": True,  # asserted per repeat in _run_case
+        }
 
     if record_baseline:
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
@@ -330,6 +478,13 @@ def wallclock_bench(
         ))
         if golden:
             print(f"golden Fig.5 check : {golden['checked_rows']} rows bit-identical")
+        hybrid = payload.get("hybrid")
+        if hybrid:
+            print(
+                f"hybrid speedup     : {hybrid['speedup_auto_total']:.2f}x total "
+                f"({hybrid['speedup_auto_geomean']:.2f}x geomean) over "
+                f"{hybrid['compared_cases']} compared cases, sim times bit-identical"
+            )
         if baseline:
             print(
                 f"baseline speedup   : {baseline['speedup_total']:.2f}x total "

@@ -133,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "--wallclock, BENCH_resilience.json for --resilience)")
     bench_p.add_argument("--record-baseline", action="store_true",
                          help="record wallclock measurements as the new baseline")
+    bench_p.add_argument("--sim-mode", choices=("compare", "des", "auto"),
+                         default="compare",
+                         help="wallclock timing mode: compare DES vs the "
+                              "hybrid fast path (default), or time one path")
+    bench_p.add_argument("--paper-scales", action="store_true",
+                         help="append hybrid-only wallclock cases at the "
+                              "paper's 540/1080/2048/2160-rank sizes")
     bench_p.add_argument("--seed", type=int, default=None,
                          help="override the driver's default topology seed")
     bench_p.add_argument("--workers", type=int, default=1,
@@ -147,9 +154,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--sweep-smoke", action="store_true",
                          help="run the tiny orchestrated smoke sweep and "
                               "print execution/cache statistics")
+    bench_p.add_argument("--paper-smoke", action="store_true",
+                         help="run the reduced 2160-rank Fig. 5 slice in "
+                              "hybrid (auto) mode and print execution/cache "
+                              "statistics")
     bench_p.add_argument("--min-cache-hit-rate", type=float, default=None,
-                         help="with --sweep-smoke: exit 1 if the cache hit "
-                              "rate falls below this fraction")
+                         help="with --sweep-smoke/--paper-smoke: exit 1 if "
+                              "the cache hit rate falls below this fraction")
+    bench_p.add_argument("--max-wall-seconds", type=float, default=None,
+                         help="with --sweep-smoke/--paper-smoke: exit 1 if "
+                              "the sweep's wall clock exceeds this budget")
 
     fuzz_p = sub.add_parser(
         "fuzz", help="differential conformance fuzzer (repro.verify)")
@@ -354,9 +368,10 @@ def cmd_bench(args) -> int:
     from repro.bench.config import SweepConfig
 
     scale = get_scale(args.scale)
-    if sum(map(bool, (args.wallclock, args.resilience, args.sweep_smoke))) > 1:
-        print("error: --wallclock, --resilience and --sweep-smoke are "
-              "mutually exclusive", file=sys.stderr)
+    if sum(map(bool, (args.wallclock, args.resilience, args.sweep_smoke,
+                      args.paper_smoke))) > 1:
+        print("error: --wallclock, --resilience, --sweep-smoke and "
+              "--paper-smoke are mutually exclusive", file=sys.stderr)
         return 2
     config = SweepConfig(
         scale=scale,
@@ -367,15 +382,25 @@ def cmd_bench(args) -> int:
         use_cache=not args.no_cache,
         smoke=args.smoke,
         repeats=args.repeats,
+        # "compare" is a wallclock-harness mode; figure sweeps run one path.
+        sim_mode=args.sim_mode if args.sim_mode != "compare" else "des",
     )
-    if args.sweep_smoke:
-        from repro.bench.sweep import smoke_sweep
+    if args.sweep_smoke or args.paper_smoke:
+        import time
 
-        report = smoke_sweep(config)
+        if args.paper_smoke:
+            from repro.bench.sweep import paper_smoke_sweep as sweep_fn
+        else:
+            from repro.bench.sweep import smoke_sweep as sweep_fn
+
+        start = time.perf_counter()
+        report = sweep_fn(config)
+        wall = time.perf_counter() - start
         ex = report["execution"]
         cache_stats = ex.get("cache")
-        print(f"smoke sweep: {ex['total']} specs, {ex['from_cache']} from "
-              f"cache, {ex['computed']} computed, workers={ex['workers']}")
+        print(f"{report['experiment']}: {ex['total']} specs, "
+              f"{ex['from_cache']} from cache, {ex['computed']} computed, "
+              f"workers={ex['workers']}, wall={wall:.1f}s")
         if cache_stats is None:
             print("cache: disabled")
             hit_rate = 0.0
@@ -390,6 +415,10 @@ def cmd_bench(args) -> int:
             print(f"error: cache hit rate {hit_rate:.2f} is below the "
                   f"required {args.min_cache_hit_rate:.2f}", file=sys.stderr)
             return 1
+        if args.max_wall_seconds is not None and wall > args.max_wall_seconds:
+            print(f"error: sweep wall clock {wall:.1f}s exceeded the "
+                  f"{args.max_wall_seconds:.1f}s budget", file=sys.stderr)
+            return 1
         return 0
     if args.wallclock:
         from repro.bench.wallclock import wallclock_bench
@@ -398,14 +427,22 @@ def cmd_bench(args) -> int:
             print(f"error: --repeats must be >= 1, got {args.repeats}",
                   file=sys.stderr)
             return 2
-        wallclock_bench(
-            scale=scale,
-            repeats=1 if args.smoke else args.repeats,
-            smoke=args.smoke,
-            out_path=args.out or "BENCH_sim_core.json",
-            record_baseline=args.record_baseline,
-            verbose=True,
-        )
+        try:
+            wallclock_bench(
+                scale=scale,
+                repeats=1 if args.smoke else args.repeats,
+                smoke=args.smoke,
+                out_path=args.out or "BENCH_sim_core.json",
+                record_baseline=args.record_baseline,
+                verbose=True,
+                sim_mode=args.sim_mode,
+                paper_scales=args.paper_scales,
+            )
+        except (OSError, ValueError) as exc:
+            # Unreadable/corrupt golden or baseline files (and bad knob
+            # combinations) are operator errors, not bugs: one line, exit 1.
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         return 0
     if args.resilience:
         from repro.bench.resilience import resilience_bench
@@ -438,8 +475,12 @@ def cmd_fuzz(args) -> int:
     if args.replay is not None:
         try:
             violations = replay_file(args.replay)
-        except (OSError, ValueError) as exc:
-            print(f"error: cannot replay {args.replay}: {exc}", file=sys.stderr)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # Missing file, corrupt JSON, or a repro payload without the
+            # expected structure ("scenario" key, field types): one line on
+            # stderr, non-zero exit, no traceback.
+            detail = f"missing key {exc}" if isinstance(exc, KeyError) else exc
+            print(f"error: cannot replay {args.replay}: {detail}", file=sys.stderr)
             return 1
         if not violations:
             print(f"replay {args.replay}: no violations (fixed)")

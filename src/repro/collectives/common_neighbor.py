@@ -168,6 +168,49 @@ class CommonNeighborAllgather(NeighborhoodAllgatherAlgorithm):
             )
             plan.phase2_sends = tuple(p2_send[g])
 
+    def build_schedule(self, ctx: ExecutionContext):
+        """Static schedule mirroring :meth:`_run` op for op."""
+        from repro.sim.schedule import Schedule
+
+        self.require_setup()
+        assert self.plans is not None
+        n = ctx.topology.n
+        all_ops: list[list[tuple] | None] = []
+        deliveries: list[list[int]] = []
+        for rank in range(n):
+            plan = self.plans[rank]
+            my_size = ctx.size_of(rank)
+            ops: list[tuple] = []
+            dels: list[int] = []
+            if plan.self_copy:
+                ops.append(("charge", my_size))
+                dels.append(rank)
+            # Phase 1: exchange blocks within the group.
+            for src in plan.phase1_recvs:
+                ops.append(("recv", src, P1_TAG))
+            for dst in plan.phase1_sends:
+                ops.append(("send", dst, my_size, P1_TAG))
+            if plan.phase1_recvs or plan.phase1_sends:
+                ops.append(("wait",))
+            for src in plan.phase1_recvs:
+                ops.append(("charge", ctx.size_of(src)))  # combining-buffer stage
+            dels.extend(plan.phase1_for_me)
+            # Phase 2: one combined message per assigned external target.
+            for target, blocks in plan.phase2_sends:
+                nbytes = ctx.sizes_of(blocks)
+                ops.append(("charge", nbytes))  # pack
+                ops.append(("send", target, nbytes, P2_TAG))
+            for sender, _ in plan.phase2_recvs:
+                ops.append(("recv", sender, P2_TAG))
+            if plan.phase2_sends or plan.phase2_recvs:
+                ops.append(("wait",))
+            for _, blocks in plan.phase2_recvs:
+                ops.append(("charge", ctx.sizes_of(blocks)))  # unpack into rbuf
+                dels.extend(blocks)
+            all_ops.append(ops)
+            deliveries.append(dels)
+        return Schedule(n, all_ops, deliveries)
+
     # -------------------------------------------------------------- operation
     def program(self, comm: SimCommunicator, ctx: ExecutionContext) -> Generator | None:
         self.require_setup()

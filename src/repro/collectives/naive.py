@@ -43,6 +43,40 @@ class NaiveAllgather(NeighborhoodAllgatherAlgorithm):
             return None
         return self._run(comm, ctx, out_nbrs, in_nbrs)
 
+    def build_schedule(self, ctx: ExecutionContext):
+        """Static schedule mirroring :meth:`_run` op for op."""
+        from repro.sim.schedule import Schedule
+
+        topo = ctx.topology
+        n = topo.n
+        all_ops: list[list[tuple] | None] = []
+        deliveries: list[list[int]] = []
+        for rank in range(n):
+            out_nbrs = topo.out_neighbors(rank)
+            in_nbrs = topo.in_neighbors(rank)
+            if not out_nbrs and not in_nbrs:
+                all_ops.append(None)
+                deliveries.append([])
+                continue
+            m = ctx.size_of(rank)
+            ops: list[tuple] = [
+                ("recv", src, NAIVE_TAG) for src in in_nbrs if src != rank
+            ]
+            dels: list[int] = [src for src in in_nbrs if src != rank]
+            n_reqs = len(ops)
+            for dst in out_nbrs:
+                if dst != rank:
+                    ops.append(("send", dst, m, NAIVE_TAG))
+                    n_reqs += 1
+            if rank in out_nbrs:  # MPI self-edge: local copy into own recvbuf
+                ops.append(("charge", m))
+                dels.append(rank)
+            if n_reqs:
+                ops.append(("wait",))
+            all_ops.append(ops)
+            deliveries.append(dels)
+        return Schedule(n, all_ops, deliveries)
+
     def _run(self, comm: SimCommunicator, ctx: ExecutionContext, out_nbrs, in_nbrs) -> Generator:
         rank = comm.rank
         results = ctx.results[rank]

@@ -22,6 +22,8 @@ from repro.collectives.base import (
     get_algorithm,
 )
 from repro.sim.engine import Engine
+from repro.sim.fastpath import execute_schedule
+from repro.sim.schedule import contention_free
 from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.tracing import TraceCollector
 from repro.topology.graph import DistGraphTopology
@@ -125,6 +127,18 @@ class RunOptions:
         Assert the MPI post-condition (:func:`verify_allgather`) before
         returning — used by orchestrated sweeps, where the caller never
         sees the full (non-slim) result buffers.
+    sim_mode:
+        Execution path selection.  ``"des"`` (default) always runs the
+        discrete-event engine.  ``"auto"`` replays the algorithm's static
+        schedule through :mod:`repro.sim.fastpath` — bit-identical results,
+        typically an order of magnitude faster — whenever the run is
+        eligible (no fault plan, no tracing, jitter-free machine, and the
+        algorithm provides a schedule), falling back to the engine
+        otherwise.  ``"analytic"`` prices every message with the
+        closed-form Hockney pipeline cost, ignoring contention: exact on
+        contention-free schedules, a documented lower bound elsewhere (see
+        docs/ARCHITECTURE.md); runs with a fault plan likewise fall back
+        to the engine.
     """
 
     trace: bool = False
@@ -134,10 +148,23 @@ class RunOptions:
     max_sim_time: float | None = None
     max_events: int | None = None
     verify: bool = False
+    sim_mode: str = "des"
+
+    def __post_init__(self) -> None:
+        if self.sim_mode not in ("des", "auto", "analytic"):
+            raise ValueError(
+                f"sim_mode must be 'des', 'auto' or 'analytic', got {self.sim_mode!r}"
+            )
 
     def canonical(self) -> dict:
-        """JSON-safe dict with a stable field order (for spec digests)."""
-        return {
+        """JSON-safe dict with a stable field order (for spec digests).
+
+        ``sim_mode`` is emitted only when non-default, so every digest
+        computed before the field existed stays valid (same pattern as
+        ``TopologySpec.self_loops``); any non-``"des"`` mode changes the
+        digest, keeping the content-addressed cache sound across paths.
+        """
+        data = {
             "trace": self.trace,
             "noise_seed": self.noise_seed,
             "fault_plan": (
@@ -148,6 +175,9 @@ class RunOptions:
             "max_events": self.max_events,
             "verify": self.verify,
         }
+        if self.sim_mode != "des":
+            data["sim_mode"] = self.sim_mode
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunOptions":
@@ -161,6 +191,7 @@ class RunOptions:
             max_sim_time=data.get("max_sim_time"),
             max_events=data.get("max_events"),
             verify=data.get("verify", False),
+            sim_mode=data.get("sim_mode", "des"),
         )
 
 
@@ -200,6 +231,11 @@ class AllgatherRun:
     #: survives slim(), worker transfer, and cache round-trips, keeping the
     #: repro.verify conservation checks runnable on cached results.
     trace_summary: dict[str, dict[str, int]] | None = None
+    #: which execution path produced this run: "des" (discrete-event
+    #: engine), "fastpath" (bit-identical schedule replay), or "analytic"
+    #: (closed-form Hockney costing).  Lets tests and sweeps distinguish a
+    #: genuine fast-path run from an auto-mode fallback to the engine.
+    sim_path: str = "des"
 
     @property
     def fallback_used(self) -> bool:
@@ -348,6 +384,59 @@ def run_allgather(
         results=[{} for _ in range(topology.n)],
         block_sizes=block_sizes,
     )
+
+    # Hybrid fast path: replay the algorithm's static schedule instead of
+    # running the engine.  Eligibility is conservative — any feature the
+    # replay does not model (fault injection, tracing, machine jitter, or
+    # an algorithm without a schedule) falls back to the DES, so "auto"
+    # never changes results and "analytic" honors the contract that faulty
+    # runs always go through the full simulation.
+    if (
+        opts.sim_mode != "des"
+        and fault_plan is None
+        and not trace
+        and machine.params.jitter == 0
+    ):
+        wall_start = time.perf_counter()
+        schedule = algorithm.schedule_for(ctx)
+        if schedule is not None:
+            # Hybrid classification: "auto" consults the per-stage
+            # contention analyzer and prices fully contention-free
+            # schedules with the closed-form Hockney path (within the
+            # calibrated tolerance; exact when no claim ever binds), while
+            # contended schedules replay exactly.  "analytic" forces the
+            # closed form regardless.
+            analytic = opts.sim_mode == "analytic" or contention_free(schedule, machine)
+            outcome = execute_schedule(
+                schedule,
+                machine,
+                max_sim_time=opts.max_sim_time,
+                max_events=opts.max_events,
+                model_contention=not analytic,
+            )
+            results = ctx.results
+            get_payload = payloads.__getitem__
+            for dst, srcs in enumerate(schedule.deliveries):
+                if srcs:
+                    results[dst] = dict(zip(srcs, map(get_payload, srcs)))
+            run = AllgatherRun(
+                algorithm=algorithm.name,
+                msg_size=msg_size,
+                simulated_time=outcome.simulated_time,
+                finish_times=outcome.finish_times,
+                messages_sent=outcome.messages_sent,
+                bytes_sent=outcome.bytes_sent,
+                setup_stats=setup_stats,
+                results=results,
+                wall_time=time.perf_counter() - wall_start,
+                block_sizes=block_sizes,
+                requested_algorithm=requested_algorithm,
+                sim_path="analytic" if analytic else "fastpath",
+            )
+            if opts.verify:
+                verify_allgather(topology, run, expected_payloads=payloads)
+            return run
+
     collector = TraceCollector(keep_records=trace) if trace else None
     injector = FaultInjector(fault_plan) if fault_plan is not None else None
     engine = Engine(

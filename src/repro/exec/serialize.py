@@ -69,6 +69,7 @@ def run_to_dict(run: AllgatherRun) -> dict:
         "fault_stats": run.fault_stats,
         "requested_algorithm": run.requested_algorithm,
         "trace_summary": _jsonable(run.trace_summary),
+        "sim_path": run.sim_path,
     }
 
 
@@ -103,4 +104,6 @@ def run_from_dict(data: dict) -> AllgatherRun:
         fault_stats=data["fault_stats"],
         requested_algorithm=data["requested_algorithm"],
         trace_summary=data["trace_summary"],
+        # Absent in pre-hybrid payloads (every run was the engine then).
+        sim_path=data.get("sim_path", "des"),
     )

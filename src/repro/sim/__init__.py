@@ -29,7 +29,14 @@ from repro.sim.faults import (
     get_profile,
     resilience_profiles,
 )
+from repro.sim.fastpath import ANALYTIC_RTOL, FastRunOutcome, execute_schedule
 from repro.sim.request import Request
+from repro.sim.schedule import (
+    Schedule,
+    StageReport,
+    analyze_contention,
+    contention_free,
+)
 from repro.sim.timeline import chrome_trace, phase_breakdown, save_chrome_trace
 from repro.sim.tracing import MessageRecord, TraceCollector
 
@@ -55,4 +62,11 @@ __all__ = [
     "Request",
     "MessageRecord",
     "TraceCollector",
+    "ANALYTIC_RTOL",
+    "FastRunOutcome",
+    "execute_schedule",
+    "Schedule",
+    "StageReport",
+    "analyze_contention",
+    "contention_free",
 ]

@@ -45,10 +45,28 @@ class DeadlockError(RuntimeError):
 class SimTimeoutError(RuntimeError):
     """Raised when a watchdog budget (``max_sim_time``/``max_events``) trips.
 
-    Carries the same lazily-built blocked-process diagnostics as
-    :class:`DeadlockError`, so a lossy or perturbed run that can never
-    complete fails loudly with actionable state instead of spinning.
+    Budget boundaries are *inclusive*: an event whose timestamp equals
+    ``max_sim_time`` is still processed (only a strictly-later event trips
+    the time budget), and processing exactly ``max_events`` events is
+    allowed (the attempt to process one more trips the event budget).
+
+    Besides the human-readable message — which always names the tripped
+    budget, the number of events processed so far, and the per-rank blocked
+    state in deterministic rank order — the exception carries structured
+    fields so callers can dispatch without parsing strings:
+
+    * ``budget`` — ``"sim_time"`` or ``"events"`` (which limit tripped);
+    * ``events_processed`` — events fully processed before the trip;
+    * ``limit`` — the configured budget value that was exceeded.
     """
+
+    def __init__(self, message: str, *, budget: str | None = None,
+                 events_processed: int | None = None,
+                 limit: float | int | None = None):
+        super().__init__(message)
+        self.budget = budget
+        self.events_processed = events_processed
+        self.limit = limit
 
 
 class _WaitAll:
@@ -218,31 +236,42 @@ class Engine:
 
         With a watchdog budget set, the loop checks each event against
         ``max_sim_time`` (event timestamp) and ``max_events`` (events
-        processed) and raises :class:`SimTimeoutError` on the first breach;
-        without budgets the original branch-free loop runs.
+        processed) and raises :class:`SimTimeoutError` on the first breach.
+        Boundaries are inclusive (see :class:`SimTimeoutError`): an event
+        *at* ``max_sim_time`` is processed, and exactly ``max_events``
+        events may be processed — the budget trips on event
+        ``max_events + 1``.  ``events_processed`` is kept accurate on every
+        exit path, budgeted or not.
         """
         heap = self._heap
         pop = heapq.heappop
         resume = self._resume
         max_time = self._max_sim_time
         max_events = self._max_events
+        events = self.events_processed
         if max_time is None and max_events is None:
-            while heap:
-                time, _, rank = pop(heap)
-                self.now = time
-                resume(rank, time)
+            try:
+                while heap:
+                    time, _, rank = pop(heap)
+                    events += 1
+                    self.now = time
+                    resume(rank, time)
+            finally:
+                self.events_processed = events
         else:
             if max_time is None:
                 max_time = math.inf
-            events = self.events_processed
             while heap:
                 time, _, rank = pop(heap)
                 if time > max_time:
                     self.events_processed = events
                     raise SimTimeoutError(
                         f"simulated-time budget exceeded: next event at "
-                        f"{time:.6e}s > max_sim_time={max_time:.6e}s; "
-                        f"processes: {self._blocked_detail()}"
+                        f"{time:.6e}s > max_sim_time={max_time:.6e}s "
+                        f"after {events} event(s); "
+                        f"processes: {self._blocked_detail()}",
+                        budget="sim_time", events_processed=events,
+                        limit=max_time,
                     )
                 events += 1
                 if max_events is not None and events > max_events:
@@ -250,7 +279,9 @@ class Engine:
                     raise SimTimeoutError(
                         f"event budget exceeded: processed {events - 1} events "
                         f"(max_events={max_events}); "
-                        f"processes: {self._blocked_detail()}"
+                        f"processes: {self._blocked_detail()}",
+                        budget="events", events_processed=events - 1,
+                        limit=max_events,
                     )
                 self.now = time
                 resume(rank, time)

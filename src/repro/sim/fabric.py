@@ -89,6 +89,42 @@ def _machine_cost_table(machine: Machine) -> dict[int, tuple]:
     return table
 
 
+def _resolve_machine_costs(machine: Machine, adaptive: bool, src: int, dst: int) -> tuple:
+    """Machine-determined half of a stage plan (no resource objects).
+
+    Shared between :class:`Fabric` and the schedule fast path
+    (:mod:`repro.sim.fastpath`): both must price a ``(src, dst)`` pair with
+    byte-for-byte identical constants, so the resolution lives here once and
+    the results are memoized per machine in :data:`_COSTS_BY_MACHINE`.
+    """
+    params = machine.params
+    cls = machine.link_class(src, dst)
+    cost = params.cost(cls)
+    hop_extra = machine.hop_extra_alpha(src, dst)
+    inv_beta = 1.0 / cost.beta
+
+    node_src = node_dst = -1
+    group_keys = None
+    fixed_keys: tuple = ()
+    link_inv_beta = 0.0
+    if cls in (LinkClass.INTER_NODE, LinkClass.INTER_GROUP):
+        spec = machine.spec
+        node_src, node_dst = spec.node_of(src), spec.node_of(dst)
+        if cls is LinkClass.INTER_GROUP:
+            link_inv_beta = 1.0 / params.cost(LinkClass.INTER_GROUP).beta
+            if adaptive:
+                group_keys = tuple(
+                    tuple(group)
+                    for group in machine.network.link_choices(node_src, node_dst)
+                )
+            else:
+                fixed_keys = tuple(
+                    machine.network.shared_link_keys(node_src, node_dst)
+                )
+    return (cls, cost.alpha, hop_extra, inv_beta, link_inv_beta,
+            node_src, node_dst, group_keys, fixed_keys)
+
+
 class _StagePlan:
     """Everything fixed about a (socket, socket) pair's message pipeline.
 
@@ -203,33 +239,7 @@ class Fabric:
 
     def _resolve_costs(self, src: int, dst: int) -> tuple:
         """Machine-determined half of a plan (no resource objects)."""
-        machine = self.machine
-        params = machine.params
-        cls = machine.link_class(src, dst)
-        cost = params.cost(cls)
-        hop_extra = machine.hop_extra_alpha(src, dst)
-        inv_beta = 1.0 / cost.beta
-
-        node_src = node_dst = -1
-        group_keys = None
-        fixed_keys: tuple = ()
-        link_inv_beta = 0.0
-        if cls in (LinkClass.INTER_NODE, LinkClass.INTER_GROUP):
-            spec = machine.spec
-            node_src, node_dst = spec.node_of(src), spec.node_of(dst)
-            if cls is LinkClass.INTER_GROUP:
-                link_inv_beta = 1.0 / params.cost(LinkClass.INTER_GROUP).beta
-                if self._adaptive:
-                    group_keys = tuple(
-                        tuple(group)
-                        for group in machine.network.link_choices(node_src, node_dst)
-                    )
-                else:
-                    fixed_keys = tuple(
-                        machine.network.shared_link_keys(node_src, node_dst)
-                    )
-        return (cls, cost.alpha, hop_extra, inv_beta, link_inv_beta,
-                node_src, node_dst, group_keys, fixed_keys)
+        return _resolve_machine_costs(self.machine, self._adaptive, src, dst)
 
     # --------------------------------------------------------------- schedule
     def transmit(self, src: int, dst: int, nbytes: int, post_time: float) -> MessageTiming:

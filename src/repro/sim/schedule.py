@@ -1,0 +1,187 @@
+"""Static communication schedules: the hybrid fast path's input.
+
+A :class:`Schedule` is a rank-by-rank, stage-by-stage transcript of every
+operation a collective's simulator programs would perform — memcpy charges,
+non-blocking sends/receives, and waitall boundaries — derived purely from an
+algorithm's setup-time plan (the shared stage plans), never from running the
+generators.  Because the three allgather algorithms are data-driven (their
+programs interpret a plan built in ``setup()``), the schedule carries exactly
+the information the discrete-event engine would discover lazily, which lets
+:mod:`repro.sim.fastpath` replay the run without generator resumes, request
+objects, or matching-table bookkeeping while staying bit-identical.
+
+Ops are plain tuples (the fast path compiles them to priced opcodes):
+
+* ``("charge", nbytes)`` — advance the local clock by a memcpy.
+* ``("send", dst, nbytes, tag)`` — post a non-blocking send.
+* ``("recv", src, tag)`` — post a non-blocking receive.
+* ``("wait",)`` — waitall over every request posted since the last wait.
+
+Op order must mirror the generator's call order exactly (post order is what
+determines resource-claim order and therefore timing).  A rank whose program
+would return ``None`` (nothing to do) gets ``None`` instead of an op list —
+the engine never spawns such ranks, and event sequence parity depends on
+reproducing that.
+
+The module also hosts the per-stage contention analyzer
+(:func:`analyze_contention`): stage ``k`` is the cohort of every rank's
+``k``-th wait-delimited segment, and a stage is *contention-free* when no
+endpoint port, node NIC, or shared link is claimed by more than one message
+in it.  Contention-free stages are the regime where the closed-form Hockney
+costing (``sim_mode="analytic"``) is exact; the analyzer's report is the
+tolerance contract's measurable half (see docs/ARCHITECTURE.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cluster.spec import LinkClass
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.machine import Machine
+
+
+@dataclass
+class Schedule:
+    """Per-rank op lists plus the result-buffer contents they imply.
+
+    ``ops[r]`` is rank ``r``'s operation list (``None`` when the rank's
+    program would be ``None`` — no events, no engine sequence number);
+    ``deliveries[r]`` lists the source ranks whose block lands in rank
+    ``r``'s receive buffer (``results[r][src] = payloads[src]``), which is
+    plan-determined and therefore needs no payload objects in flight.
+    """
+
+    n_ranks: int
+    ops: list[list[tuple] | None]
+    deliveries: list[list[int]]
+
+    def __post_init__(self) -> None:
+        if len(self.ops) != self.n_ranks or len(self.deliveries) != self.n_ranks:
+            raise ValueError(
+                f"schedule arity mismatch: {self.n_ranks} ranks, "
+                f"{len(self.ops)} op lists, {len(self.deliveries)} delivery lists"
+            )
+
+    def total_sends(self) -> int:
+        return sum(
+            1 for ops in self.ops if ops for op in ops if op[0] == "send"
+        )
+
+
+@dataclass
+class StageReport:
+    """Contention classification of one stage (see module docstring).
+
+    ``max_claims`` maps resource family -> the largest number of messages
+    claiming one resource of that family during the stage; the stage is
+    contention-free iff every maximum is <= 1.
+    """
+
+    stage: int
+    messages: int
+    max_claims: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def contention_free(self) -> bool:
+        return all(v <= 1 for v in self.max_claims.values())
+
+
+def _stage_messages(schedule: Schedule) -> list[list[tuple[int, int, int]]]:
+    """Per stage: ``(src, dst, nbytes)`` of every send posted in it.
+
+    Stage ``k`` collects the sends between rank ``r``'s ``k-1``-th and
+    ``k``-th waits, for every rank — the cohort that is in flight together.
+    """
+    stages: list[list[tuple[int, int, int]]] = []
+    for rank, ops in enumerate(schedule.ops):
+        if not ops:
+            continue
+        stage = 0
+        for op in ops:
+            kind = op[0]
+            if kind == "wait":
+                stage += 1
+            elif kind == "send":
+                while len(stages) <= stage:
+                    stages.append([])
+                stages[stage].append((rank, op[1], op[2]))
+    return stages
+
+
+def analyze_contention(schedule: Schedule, machine: "Machine") -> list[StageReport]:
+    """Classify every stage of ``schedule`` on ``machine``.
+
+    Claim multiplicities are exact for endpoint ports and node NICs
+    (messages map to them statically); for shared inter-group links the
+    analyzer counts messages per bottleneck *group* — adaptive lane choice
+    can only spread load within a group, so a group total of <= 1 is a
+    sound (and tight) contention-free criterion.
+    """
+    spec = machine.spec
+    node_of = spec.node_of
+    reports: list[StageReport] = []
+    for stage, msgs in enumerate(_stage_messages(schedule)):
+        report = StageReport(stage=stage, messages=len(msgs))
+        if not msgs:
+            report.max_claims = {}
+            reports.append(report)
+            continue
+        send_ports: list[int] = []
+        recv_ports: list[int] = []
+        nic_tx: list[int] = []
+        nic_rx: list[int] = []
+        link_groups: dict = {}
+        for src, dst, _nbytes in msgs:
+            if src == dst:
+                continue  # local memcpy: no shared resource
+            send_ports.append(src)
+            recv_ports.append(dst)
+            cls = machine.link_class(src, dst)
+            if cls in (LinkClass.INTER_NODE, LinkClass.INTER_GROUP):
+                ns, nd = node_of(src), node_of(dst)
+                nic_tx.append(ns)
+                nic_rx.append(nd)
+                if cls is LinkClass.INTER_GROUP:
+                    for key in machine.network.shared_link_keys(ns, nd):
+                        link_groups[key] = link_groups.get(key, 0) + 1
+
+        def _max_count(values: list[int]) -> int:
+            if not values:
+                return 0
+            return int(np.bincount(np.asarray(values, dtype=np.intp)).max())
+
+        report.max_claims = {
+            "send_ports": _max_count(send_ports),
+            "recv_ports": _max_count(recv_ports),
+            "nic_tx": _max_count(nic_tx),
+            "nic_rx": _max_count(nic_rx),
+            "links": max(link_groups.values(), default=0),
+        }
+        reports.append(report)
+    return reports
+
+
+def contention_free(schedule: Schedule, machine: "Machine") -> bool:
+    """True when every stage of ``schedule`` is contention-free.
+
+    This is the regime where the closed-form Hockney costing holds within
+    the calibrated tolerance: within a stage no resource queue ever binds.
+    For a *single-stage* schedule that makes the analytic path bit-identical
+    to the engine; across stages a straggler's claim can still delay an
+    early next-stage message, which is exactly the residual the tolerance
+    contract bounds (see docs/ARCHITECTURE.md).
+
+    Memoized per ``(schedule, machine)`` identity — the analyzer walks
+    every send, and auto-mode runs consult it on every invocation.
+    """
+    cache = getattr(schedule, "_cf_cache", None)
+    if cache is not None and cache[0] is machine:
+        return cache[1]
+    verdict = all(r.contention_free for r in analyze_contention(schedule, machine))
+    schedule._cf_cache = (machine, verdict)
+    return verdict

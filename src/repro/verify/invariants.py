@@ -38,6 +38,12 @@ The catalog (see ``docs/ARCHITECTURE.md`` §6 for the full rationale):
     Payloads are opaque cargo: permuting the payload *values* (not the
     ranks) changes nothing observable except the delivered objects —
     simulated time, counters, and per-class aggregates are bit-identical.
+``hybrid_equivalence``
+    Clean scenarios only: re-running with ``sim_mode="auto"`` must be
+    bit-identical to the DES on contended schedules (exact replay) and
+    within the analytic tolerance contract, never exceeding the DES time,
+    on contention-free ones (closed form) — the hybrid path and the DES
+    are mutual differential oracles.
 ``dh_structure``
     Structural checks on the Distance Halving pattern itself: the
     exactly-once delivery invariant (:func:`check_pattern`), at most one
@@ -68,6 +74,7 @@ INVARIANTS = (
     "size_monotonicity",
     "relabel_conservation",
     "payload_independence",
+    "hybrid_equivalence",
     "dh_structure",
 )
 
@@ -392,6 +399,84 @@ def check_relabel_conservation(
     return violations
 
 
+def check_hybrid_equivalence(
+    scenario: "Scenario",
+    runs: dict[str, "AllgatherRun"],
+) -> list[Violation]:
+    """The hybrid fast path is a mutual oracle for the DES (and vice versa).
+
+    Every clean trial is re-run with ``sim_mode="auto"``.  When the hybrid
+    path replays the schedule (``sim_path="fastpath"`` — any contended
+    schedule), the run must be *bit-identical* to the DES in simulated
+    time, message/byte counters, and delivered buffers.  When the per-stage
+    analyzer routes it to the closed form (``sim_path="analytic"`` — fully
+    contention-free schedules), delivered buffers and counters must still
+    be identical and the simulated time must agree within
+    :data:`~repro.sim.fastpath.ANALYTIC_RTOL` without ever *exceeding* the
+    DES time (the closed form is a lower bound).
+    """
+    import dataclasses
+
+    from repro.exec.spec import RunSpec
+    from repro.sim.fastpath import ANALYTIC_RTOL
+
+    options = dataclasses.replace(
+        scenario.options, trace=False, sim_mode="auto",
+    )
+    violations: list[Violation] = []
+    for name, run in runs.items():
+        if getattr(run, "fallback_used", False):
+            continue
+        try:
+            auto = RunSpec(
+                algorithm=name,
+                topology=scenario.topology,
+                machine=scenario.machine,
+                msg_size=scenario.msg_size,
+                options=options,
+            ).run()
+        except Exception as exc:  # noqa: BLE001 - a crash here is a finding
+            violations.append(Violation(
+                "hybrid_equivalence", name,
+                f"sim_mode='auto' execution failed where the DES succeeded: "
+                f"{type(exc).__name__}: {exc}",
+            ))
+            continue
+        if (
+            auto.messages_sent != run.messages_sent
+            or auto.bytes_sent != run.bytes_sent
+            or auto.results != run.results
+        ):
+            violations.append(Violation(
+                "hybrid_equivalence", name,
+                f"auto path changed observable outputs (sim_path="
+                f"{auto.sim_path}): messages {auto.messages_sent} vs "
+                f"{run.messages_sent}, bytes {auto.bytes_sent} vs "
+                f"{run.bytes_sent}, results equal: "
+                f"{auto.results == run.results}",
+            ))
+            continue
+        if auto.sim_path == "analytic":
+            base = run.simulated_time
+            gap = base - auto.simulated_time
+            if gap < 0 or (base > 0 and gap / base > ANALYTIC_RTOL):
+                violations.append(Violation(
+                    "hybrid_equivalence", name,
+                    f"analytic time {auto.simulated_time!r} outside the "
+                    f"tolerance contract vs DES {base!r} "
+                    f"(rtol={ANALYTIC_RTOL}, lower-bound required)",
+                    data={"analytic": auto.simulated_time, "des": base},
+                ))
+        elif auto.simulated_time != run.simulated_time:
+            violations.append(Violation(
+                "hybrid_equivalence", name,
+                f"contended schedule must replay bit-identically: "
+                f"auto {auto.simulated_time!r} != des {run.simulated_time!r}",
+                data={"auto": auto.simulated_time, "des": run.simulated_time},
+            ))
+    return violations
+
+
 def check_payload_independence(
     scenario: "Scenario",
     topology: "DistGraphTopology",
@@ -598,6 +683,7 @@ def run_invariants(
         violations += check_size_monotonicity(scenario, runs)
         violations += check_relabel_conservation(scenario, topology, runs)
         violations += check_payload_independence(scenario, topology, runs)
+        violations += check_hybrid_equivalence(scenario, runs)
     return violations
 
 

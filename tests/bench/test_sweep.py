@@ -82,3 +82,29 @@ class TestSmokeSweep:
         report = smoke_sweep(SweepConfig())
         assert report["execution"]["computed"] == report["execution"]["total"]
         assert "cache" not in report["execution"]
+
+
+class TestPaperSmokeSweep:
+    """Shape test at a tiny rank count; CI runs the real 2160-rank slice."""
+
+    def test_runs_in_auto_mode_and_reports_sim_path(self, tmp_path):
+        from repro.bench.config import SweepConfig
+        from repro.bench.sweep import paper_smoke_sweep
+
+        cold = paper_smoke_sweep(
+            SweepConfig(cache_dir=tmp_path, use_cache=True),
+            ranks=32, ranks_per_socket=4,
+        )
+        assert cold["sim_mode"] == "auto"
+        assert cold["execution"]["computed"] == cold["execution"]["total"]
+        # Auto mode must never silently fall back to the engine here: the
+        # slice has no faults, no trace, and a jitter-free machine.
+        assert all(r["sim_path"] in ("fastpath", "analytic")
+                   for r in cold["records"])
+        warm = paper_smoke_sweep(
+            SweepConfig(cache_dir=tmp_path, use_cache=True),
+            ranks=32, ranks_per_socket=4,
+        )
+        assert warm["execution"]["cache"]["hit_rate"] == 1.0
+        # sim_path must survive the cache round-trip (serialize.py).
+        assert warm["records"] == cold["records"]

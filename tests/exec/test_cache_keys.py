@@ -1,0 +1,136 @@
+"""Cache-key audit: every RunSpec knob must reach the content digest.
+
+The result cache addresses runs by ``RunSpec.digest()``; any field that can
+change a simulation's outcome but not its digest silently aliases cache
+entries.  These tests enumerate the option/fault surface and assert that
+specs differing in exactly one field never share a digest — and that the
+default digest is stable across the ``sim_mode`` field's introduction.
+"""
+
+import itertools
+
+from repro.collectives.runner import RunOptions
+from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
+from repro.sim.faults import (
+    FaultPlan,
+    LinkFault,
+    MessageLoss,
+    RetryPolicy,
+    Straggler,
+)
+from repro.cluster.spec import LinkClass
+
+BASE_TOPOLOGY = TopologySpec("random", 16, density=0.3, seed=1)
+BASE_MACHINE = MachineSpec(nodes=2, sockets_per_node=2, ranks_per_socket=4)
+
+
+def _spec(options: RunOptions) -> RunSpec:
+    return RunSpec(
+        algorithm="naive",
+        topology=BASE_TOPOLOGY,
+        machine=BASE_MACHINE,
+        msg_size=1024,
+        options=options,
+    )
+
+
+#: One variant per RunOptions field, each differing from the default in
+#: exactly that field.  A new RunOptions field must be added here (the
+#: completeness test below fails otherwise).
+OPTION_VARIANTS = {
+    "default": RunOptions(),
+    "trace": RunOptions(trace=True),
+    "noise_seed": RunOptions(noise_seed=7),
+    "fault_plan": RunOptions(fault_plan=FaultPlan(seed=1)),
+    "fallback": RunOptions(fallback="naive"),
+    "max_sim_time": RunOptions(max_sim_time=1.0),
+    "max_events": RunOptions(max_events=1000),
+    "verify": RunOptions(verify=True),
+    "sim_mode_auto": RunOptions(sim_mode="auto"),
+    "sim_mode_analytic": RunOptions(sim_mode="analytic"),
+}
+
+#: FaultPlan variants: each embeds a plan differing in exactly one field
+#: (or one nested rule field) from the empty plan.
+FAULT_VARIANTS = {
+    "empty_plan": FaultPlan(),
+    "plan_seed": FaultPlan(seed=3),
+    "link_fault": FaultPlan(link_faults=(LinkFault(alpha_factor=2.0),)),
+    "link_fault_class": FaultPlan(
+        link_faults=(LinkFault(alpha_factor=2.0,
+                               link_class=LinkClass.INTER_NODE),)
+    ),
+    "link_fault_beta": FaultPlan(link_faults=(LinkFault(beta_factor=0.5),)),
+    "link_fault_window": FaultPlan(
+        link_faults=(LinkFault(alpha_factor=2.0, start=1e-3, end=2e-3),)
+    ),
+    "straggler": FaultPlan(stragglers=(Straggler(rank=1, startup_delay=1e-4),)),
+    "straggler_rank": FaultPlan(
+        stragglers=(Straggler(rank=2, startup_delay=1e-4),)
+    ),
+    "straggler_compute": FaultPlan(
+        stragglers=(Straggler(rank=1, compute_factor=2.0),)
+    ),
+    "loss": FaultPlan(losses=(MessageLoss(probability=0.1),)),
+    "loss_probability": FaultPlan(losses=(MessageLoss(probability=0.2),)),
+    "loss_window": FaultPlan(
+        losses=(MessageLoss(probability=0.1, start=1e-3, end=2e-3),)
+    ),
+    "retry_timeout": FaultPlan(retry=RetryPolicy(timeout=50e-6)),
+    "retry_backoff": FaultPlan(retry=RetryPolicy(backoff=3.0)),
+    "retry_max": FaultPlan(retry=RetryPolicy(max_retries=2)),
+}
+
+
+class TestOptionFieldsReachDigest:
+    def test_every_option_field_changes_the_digest(self):
+        digests = {name: _spec(opts).digest()
+                   for name, opts in OPTION_VARIANTS.items()}
+        for (a, da), (b, db) in itertools.combinations(digests.items(), 2):
+            assert da != db, f"digest collision between {a!r} and {b!r}"
+
+    def test_variant_table_covers_every_field(self):
+        """Adding a RunOptions field without a digest-audit variant fails
+        here — the audit table must grow with the dataclass."""
+        fields = set(RunOptions.__dataclass_fields__)
+        covered = {
+            "trace", "noise_seed", "fault_plan", "fallback",
+            "max_sim_time", "max_events", "verify", "sim_mode",
+        }
+        assert fields == covered, (
+            f"RunOptions fields changed ({sorted(fields ^ covered)}); "
+            "extend OPTION_VARIANTS and this set"
+        )
+
+    def test_fault_plan_fields_reach_digest(self):
+        digests = {
+            name: _spec(RunOptions(fault_plan=plan)).digest()
+            for name, plan in FAULT_VARIANTS.items()
+        }
+        for (a, da), (b, db) in itertools.combinations(digests.items(), 2):
+            assert da != db, f"digest collision between {a!r} and {b!r}"
+
+    def test_digest_round_trips_through_serialization(self):
+        for name, opts in OPTION_VARIANTS.items():
+            spec = _spec(opts)
+            restored = RunSpec.from_dict(spec.canonical())
+            assert restored.digest() == spec.digest(), name
+
+
+class TestDigestStability:
+    def test_default_canonical_omits_sim_mode(self):
+        """Digest-stability pin: sim_mode="des" must not appear in the
+        canonical form, so digests computed before the field existed (and
+        the cached results they address) remain valid."""
+        assert "sim_mode" not in RunOptions().canonical()
+        assert "sim_mode" not in _spec(RunOptions()).to_json()
+
+    def test_non_default_sim_mode_is_emitted(self):
+        assert RunOptions(sim_mode="auto").canonical()["sim_mode"] == "auto"
+        assert (RunOptions(sim_mode="analytic").canonical()["sim_mode"]
+                == "analytic")
+
+    def test_sim_mode_round_trips(self):
+        for mode in ("des", "auto", "analytic"):
+            opts = RunOptions(sim_mode=mode)
+            assert RunOptions.from_dict(opts.canonical()).sim_mode == mode

@@ -142,6 +142,20 @@ class TestExecFlags:
         assert main(["bench", "--wallclock", "--sweep-smoke"]) == 2
         assert "mutually exclusive" in capsys.readouterr().err
 
+    def test_paper_smoke_mutually_exclusive(self, capsys):
+        assert main(["bench", "--paper-smoke", "--sweep-smoke"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_wall_budget_gate_fails_at_zero(self, capsys):
+        assert main(["bench", "--sweep-smoke", "--no-cache",
+                     "--max-wall-seconds", "0"]) == 1
+        assert "exceeded" in capsys.readouterr().err
+
+    def test_wall_budget_gate_passes_when_generous(self, capsys):
+        assert main(["bench", "--sweep-smoke", "--no-cache",
+                     "--max-wall-seconds", "600"]) == 0
+        assert "wall=" in capsys.readouterr().out
+
     def test_figure_with_workers_and_cache_matches_serial(
         self, isolated_results, tmp_path, capsys, monkeypatch
     ):
@@ -181,3 +195,76 @@ class TestFuzz:
     def test_unknown_profile_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fuzz", "--profile", "chaotic"])
+
+
+class TestFuzzReplayErrors:
+    """--replay on missing/corrupt repro files: one line on stderr, exit 1,
+    never a traceback."""
+
+    def test_missing_file(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["fuzz", "--replay", str(missing)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot replay")
+        assert err.count("\n") == 1
+
+    def test_corrupt_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["fuzz", "--replay", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot replay")
+        assert err.count("\n") == 1
+
+    def test_missing_scenario_key(self, tmp_path, capsys):
+        import json
+
+        stub = tmp_path / "stub.json"
+        stub.write_text(json.dumps({"violations": []}))
+        assert main(["fuzz", "--replay", str(stub)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot replay")
+        assert "scenario" in err
+        assert err.count("\n") == 1
+
+
+class TestBenchReferenceErrors:
+    """Corrupt golden/baseline reference files: one line on stderr, exit 1."""
+
+    def test_corrupt_baseline(self, tmp_path, capsys, monkeypatch):
+        import repro.bench.wallclock as wallclock
+
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{truncated")
+        monkeypatch.setattr(wallclock, "DEFAULT_BASELINE", bad)
+        assert main(["bench", "--wallclock", "--smoke", "--scale", "small",
+                     "--out", str(tmp_path / "out.json")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: corrupt or unreadable baseline")
+        assert err.count("\n") == 1
+
+    def test_corrupt_golden(self, tmp_path, capsys, monkeypatch):
+        import repro.bench.wallclock as wallclock
+
+        bad = tmp_path / "golden.json"
+        bad.write_text("[1, 2,")
+        monkeypatch.setattr(wallclock, "DEFAULT_GOLDEN", bad)
+        monkeypatch.setattr(wallclock, "DEFAULT_BASELINE",
+                            tmp_path / "missing.json")
+        # The golden check only runs on non-smoke grids; a non-dict payload
+        # must also be rejected, so cover that shape too.
+        bad.write_text("[]")
+        monkeypatch.setattr(wallclock, "FULL_DENSITIES", (0.3,))
+        monkeypatch.setattr(wallclock, "FULL_SIZES", ("1KB",))
+        from repro.bench.config import BenchScale
+
+        tiny = BenchScale(name="small", ranks=8, ranks_per_socket=2,
+                          densities=(0.3,), sizes=("1KB",), moore_ranks=8)
+        monkeypatch.setattr("repro.bench.config._SCALES",
+                            {"small": tiny}, raising=True)
+        assert main(["bench", "--wallclock", "--scale", "small",
+                     "--repeats", "1",
+                     "--out", str(tmp_path / "out.json")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: corrupt")
+        assert "golden" in err
