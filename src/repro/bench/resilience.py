@@ -35,7 +35,11 @@ from repro.bench.config import BenchScale, SweepConfig, get_scale
 from repro.bench.reporting import format_table, geometric_mean
 from repro.collectives.runner import RunOptions
 from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
-from repro.sim.faults import PROFILE_NAMES, resilience_profiles
+from repro.sim.faults import (
+    CRASH_PROFILE_MODES,
+    PROFILE_NAMES,
+    resilience_profiles,
+)
 from repro.utils.sizes import format_size, parse_size
 
 #: All allgather algorithms of the study, in report order.
@@ -95,6 +99,10 @@ def _case_spec(case: ResilienceCase, plan) -> RunSpec:
         max_sim_time=MAX_SIM_TIME,
         max_events=MAX_EVENTS_PER_MESSAGE * case.ranks * case.ranks,
         verify=True,
+        # Crash profiles study the two ULFM recovery paths: ``crash``
+        # degrades to setup-free naive, ``crash_recover`` shrinks and
+        # re-plans the same algorithm over the survivors.
+        on_failure=CRASH_PROFILE_MODES.get(case.profile, "abort"),
     )
     return RunSpec(
         case.algorithm,
@@ -107,7 +115,12 @@ def _case_spec(case: ResilienceCase, plan) -> RunSpec:
 
 
 #: Orchestrator error prefixes that are resilience *outcomes*, not bugs.
-_EXPECTED_FAILURES = (("SimTimeoutError", "timeout"), ("DeadlockError", "deadlock"))
+_EXPECTED_FAILURES = (
+    ("SimTimeoutError", "timeout"),
+    ("DeadlockError", "deadlock"),
+    ("RankFailedError", "rank_failed"),
+    ("RetriesExhaustedError", "retries_exhausted"),
+)
 
 
 def _cell_record(
@@ -145,6 +158,12 @@ def _cell_record(
         executed_algorithm=run.algorithm,
         fault_stats=run.fault_stats,
     )
+    if case.profile in CRASH_PROFILE_MODES:
+        # Crash cells report what survived: goodput is the delivered
+        # fraction of the communicator, recovery the ULFM round record.
+        record["missing_ranks"] = list(run.missing_ranks)
+        record["goodput"] = 1.0 - len(run.missing_ranks) / case.ranks
+        record["recovery"] = run.recovery
     if clean_time is not None and clean_time > 0:
         record["slowdown_vs_clean"] = run.simulated_time / clean_time
     return record

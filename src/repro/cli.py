@@ -30,9 +30,17 @@ Commands
     trace conservation laws; failures are shrunk and written as replayable
     repro files (``--replay`` re-checks one).  ``--inject-bug`` is the
     mutation self-test proving the pipeline catches a planted defect.
+    ``--profile crash`` draws fail-stop rank crashes and checks the
+    shrink/degrade recovery oracles.
+``chaos``
+    Exec-layer chaos harness (:mod:`repro.exec.chaos`): real sweeps with
+    injected worker kills (``--kill-workers``), manifest truncation, and
+    cache corruption; asserts isolated retry, poison-spec quarantine, and
+    manifest-based resume with zero recomputed specs.
 
-Simulation failures (``DeadlockError``, ``SimTimeoutError``) exit non-zero
-with a one-line diagnostic instead of a traceback; ``--max-sim-time`` /
+Simulation failures (``DeadlockError``, ``SimTimeoutError``,
+``RankFailedError``, ``RetriesExhaustedError``) exit non-zero with a
+one-line diagnostic instead of a traceback; ``--max-sim-time`` /
 ``--max-events`` arm the engine watchdog.
 """
 
@@ -44,8 +52,14 @@ from typing import Sequence
 
 from repro.bench.config import get_scale
 from repro.bench.reporting import format_table
-from repro.sim.engine import DeadlockError, SimTimeoutError
-from repro.sim.faults import PROFILE_NAMES
+from repro.sim.engine import (
+    DeadlockError,
+    RankFailedError,
+    RetriesExhaustedError,
+    SimTimeoutError,
+)
+from repro.sim.faults import CRASH_PROFILE_MODES, PROFILE_NAMES
+from repro.verify.generators import PROFILES as FUZZ_PROFILES
 from repro.utils.sizes import format_size, parse_size
 
 #: Figure name -> driver attribute in repro.bench.figures.
@@ -175,11 +189,13 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--time-budget", type=float, default=None,
                         help="wall-clock budget in seconds (checked between "
                              "iterations; for CI smoke jobs)")
-    fuzz_p.add_argument("--profile", choices=("clean", "faulty"),
+    fuzz_p.add_argument("--profile", choices=FUZZ_PROFILES,
                         default="clean",
                         help="clean: no fault plans, full metamorphic "
                              "battery; faulty: every scenario gets a random "
-                             "fault plan and loss-accounting checks")
+                             "fault plan and loss-accounting checks; crash: "
+                             "fail-stop rank crashes with shrink/degrade "
+                             "recovery oracles")
     fuzz_p.add_argument("--out-dir", default="fuzz-failures",
                         help="where shrunk repro files and pytest snippets "
                              "are written on failure")
@@ -194,6 +210,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="mutation self-test: wire a deliberate defect "
                              "into every trial and demand the fuzzer catches "
                              "and shrinks it")
+
+    chaos_p = sub.add_parser(
+        "chaos", help="exec-layer chaos harness (repro.exec.chaos)")
+    chaos_p.add_argument("--iterations", type=int, default=3,
+                         help="full battery repetitions (default 3)")
+    chaos_p.add_argument("--workers", type=int, default=2,
+                         help="pool width for the injected-failure sweeps")
+    chaos_p.add_argument("--kill-workers", action="store_true",
+                         help="enable the worker-kill and poison-quarantine "
+                              "phases (spawns and destroys real processes)")
+    chaos_p.add_argument("--seed", type=int, default=0,
+                         help="varies the sweep topologies (runs stay "
+                              "deterministic per seed)")
+    chaos_p.add_argument("--keep", metavar="DIR", default=None,
+                         help="scratch directory to run in and keep "
+                              "(default: temp dir, removed on a clean pass)")
     return parser
 
 
@@ -265,19 +297,28 @@ def cmd_compare(args) -> int:
         fault_plan = (
             get_profile(args.faults, n, seed=args.seed) if args.faults else None
         )
+        # Crash profiles pair the plan with its recovery policy: ``crash``
+        # degrades to naive, ``crash_recover`` shrinks and re-plans.
+        on_failure = CRASH_PROFILE_MODES.get(args.faults, "abort")
         if fault_plan is not None:
-            print(f"faults  : {args.faults} ({fault_plan.describe()})\n")
+            mode = f", on_failure={on_failure}" if on_failure != "abort" else ""
+            print(f"faults  : {args.faults} ({fault_plan.describe()}{mode})\n")
         options = RunOptions(
             fault_plan=fault_plan,
             fallback="naive" if fault_plan is not None else None,
             max_sim_time=args.max_sim_time,
             max_events=args.max_events,
+            on_failure=on_failure,
         )
         for name in ("naive", "common_neighbor", "distance_halving"):
             run = run_allgather(name, topology, machine, args.msg, options=options)
-            verify_allgather(topology, run)
+            verify_allgather(topology, run, allow_missing=run.missing_ranks)
             baseline = baseline or run.simulated_time
             label = name if not run.fallback_used else f"{name} (->{run.algorithm})"
+            if run.missing_ranks:
+                rounds = (run.recovery or {}).get("rounds", 0)
+                label += (f" [lost {list(run.missing_ranks)}, "
+                          f"{rounds} recovery round(s)]")
             rows.append(
                 (label, f"{run.simulated_time * 1e6:.1f} us",
                  f"{baseline / run.simulated_time:.2f}x", run.messages_sent)
@@ -510,6 +551,28 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_chaos(args) -> int:
+    from repro.exec.chaos import ChaosError, run_chaos
+
+    try:
+        report = run_chaos(
+            iterations=args.iterations,
+            workers=args.workers,
+            kill_workers=args.kill_workers,
+            seed=args.seed,
+            root=args.keep,
+            progress=lambda msg: print(msg, flush=True),
+        )
+    except ChaosError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        artifacts = getattr(exc, "artifacts_dir", None)
+        if artifacts:
+            print(f"artifacts kept in {artifacts}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "info": cmd_info,
     "calibrate": cmd_calibrate,
@@ -519,6 +582,7 @@ _COMMANDS = {
     "spmm": cmd_spmm,
     "bench": cmd_bench,
     "fuzz": cmd_fuzz,
+    "chaos": cmd_chaos,
 }
 
 
@@ -526,7 +590,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (DeadlockError, SimTimeoutError) as exc:
+    except (DeadlockError, SimTimeoutError, RankFailedError,
+            RetriesExhaustedError) as exc:
         # Simulation-level failures are expected outcomes under fault plans
         # and watchdog budgets: one line on stderr, non-zero exit, no
         # traceback.

@@ -145,6 +145,26 @@ class NeighborhoodAllgatherAlgorithm(abc.ABC):
         )
         return schedule
 
+    def replan(
+        self,
+        survivors: tuple[int, ...],
+        delivered_state: list[dict[int, Any]],
+    ) -> "NeighborhoodAllgatherAlgorithm":
+        """ULFM-style recovery hook: a fresh instance for the shrunk run.
+
+        After a fail-stop failure the runner rebuilds the communicator over
+        ``survivors`` (original rank ids, ascending) and re-runs the
+        collective over the *residual* topology — only the edges whose
+        blocks ``delivered_state`` shows as not yet delivered.  This hook
+        returns the algorithm instance to set up over that residual
+        topology; the default clones the type with default parameters, and
+        parameterized algorithms override it to carry their tuning across
+        the replan.  The returned instance is ``setup()`` by the runner
+        (recovery pays pattern-creation cost again, like a real
+        ``MPI_Comm_shrink`` + re-negotiation).
+        """
+        return type(self)()
+
     # ---------------------------------------------------------------- helpers
     @property
     def is_setup(self) -> bool:

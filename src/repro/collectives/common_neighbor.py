@@ -59,6 +59,11 @@ class CommonNeighborAllgather(NeighborhoodAllgatherAlgorithm):
         self.k = check_positive("k", k)
         self.plans: list[_RankPlan] | None = None
 
+    def replan(self, survivors, delivered_state):
+        """Carry the group size ``k`` into the shrunk communicator; groups
+        are re-formed from scratch over the survivors' residual topology."""
+        return CommonNeighborAllgather(k=self.k)
+
     # -------------------------------------------------------------- building
     def _build(self, topology: DistGraphTopology, machine: Machine) -> SetupStats:
         start = time.perf_counter()

@@ -34,6 +34,10 @@ class NaiveAllgather(NeighborhoodAllgatherAlgorithm):
     def _build(self, topology: DistGraphTopology, machine: Machine) -> SetupStats:
         return SetupStats()  # nothing to build
 
+    def replan(self, survivors, delivered_state):
+        """Setup-free: a fresh instance is a complete replan."""
+        return NaiveAllgather()
+
     def program(self, comm: SimCommunicator, ctx: ExecutionContext) -> Generator | None:
         rank = comm.rank
         topo = ctx.topology

@@ -21,7 +21,7 @@ from repro.collectives.base import (
     SetupStats,
     get_algorithm,
 )
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, RankFailedError
 from repro.sim.fastpath import execute_schedule
 from repro.sim.schedule import contention_free
 from repro.sim.faults import FaultInjector, FaultPlan
@@ -139,6 +139,18 @@ class RunOptions:
         contention-free schedules, a documented lower bound elsewhere (see
         docs/ARCHITECTURE.md); runs with a fault plan likewise fall back
         to the engine.
+    on_failure:
+        ULFM-style policy for fail-stop failures (``RankCrash`` faults that
+        leave survivors stalled).  ``"abort"`` (default) propagates the
+        engine's :class:`~repro.sim.engine.RankFailedError` — the
+        ``MPI_ERRORS_ABORT`` analogue.  ``"shrink"`` rebuilds the
+        communicator over the survivors and re-plans the remaining stages
+        with the same algorithm (already-delivered blocks are not resent);
+        ``"degrade"`` rebuilds over survivors but falls back to the
+        setup-free naive algorithm for the recovery round(s).  Both
+        recovery modes report crashed ranks in
+        :attr:`AllgatherRun.missing_ranks` and charge detection + replan
+        cost in simulated time.
     """
 
     trace: bool = False
@@ -149,11 +161,17 @@ class RunOptions:
     max_events: int | None = None
     verify: bool = False
     sim_mode: str = "des"
+    on_failure: str = "abort"
 
     def __post_init__(self) -> None:
         if self.sim_mode not in ("des", "auto", "analytic"):
             raise ValueError(
                 f"sim_mode must be 'des', 'auto' or 'analytic', got {self.sim_mode!r}"
+            )
+        if self.on_failure not in ("abort", "shrink", "degrade"):
+            raise ValueError(
+                f"on_failure must be 'abort', 'shrink' or 'degrade', "
+                f"got {self.on_failure!r}"
             )
 
     def canonical(self) -> dict:
@@ -177,6 +195,10 @@ class RunOptions:
         }
         if self.sim_mode != "des":
             data["sim_mode"] = self.sim_mode
+        # Same stability pattern: "abort" (the pre-recovery behavior) is
+        # omitted so pre-existing digests stay valid.
+        if self.on_failure != "abort":
+            data["on_failure"] = self.on_failure
         return data
 
     @classmethod
@@ -192,6 +214,7 @@ class RunOptions:
             max_events=data.get("max_events"),
             verify=data.get("verify", False),
             sim_mode=data.get("sim_mode", "des"),
+            on_failure=data.get("on_failure", "abort"),
         )
 
 
@@ -236,6 +259,15 @@ class AllgatherRun:
     #: (closed-form Hockney costing).  Lets tests and sweeps distinguish a
     #: genuine fast-path run from an auto-mode fallback to the engine.
     sim_path: str = "des"
+    #: ranks whose payloads are missing from the collective because they
+    #: crashed (fail-stop faults), ascending original ids; empty for
+    #: crash-free runs.  Survivors' buffers verify under
+    #: ``verify_allgather(allow_missing=run.missing_ranks)``.
+    missing_ranks: tuple[int, ...] = ()
+    #: ULFM-style recovery summary when on_failure rebuilt the communicator:
+    #: {"mode", "rounds", "replan_messages", "time_to_recover"}; None for
+    #: runs that never recovered (including clean ones).
+    recovery: dict[str, Any] | None = None
 
     @property
     def fallback_used(self) -> bool:
@@ -437,6 +469,16 @@ def run_allgather(
                 verify_allgather(topology, run, expected_payloads=payloads)
             return run
 
+    if fault_plan is not None and fault_plan.crashes and opts.on_failure != "abort":
+        run = _run_with_recovery(
+            algorithm, topology, machine, msg_size, block_sizes, payloads,
+            opts, setup_stats, requested_algorithm,
+        )
+        if opts.verify:
+            verify_allgather(topology, run, expected_payloads=payloads,
+                             allow_missing=run.missing_ranks)
+        return run
+
     collector = TraceCollector(keep_records=trace) if trace else None
     injector = FaultInjector(fault_plan) if fault_plan is not None else None
     engine = Engine(
@@ -471,10 +513,197 @@ def run_allgather(
         fault_stats=injector.stats() if injector is not None else None,
         requested_algorithm=requested_algorithm,
         trace_summary=collector.summary() if collector is not None else None,
+        # A crash that never starved a survivor (the dead rank had nothing
+        # left to contribute) completes without a RankFailedError even under
+        # on_failure="abort"; the dead rank is still a missing participant.
+        missing_ranks=tuple(sorted(engine.crashed_ranks)),
     )
     if opts.verify:
-        verify_allgather(topology, run, expected_payloads=payloads)
+        verify_allgather(topology, run, expected_payloads=payloads,
+                         allow_missing=run.missing_ranks)
     return run
+
+
+def _residual_topology(
+    topology: DistGraphTopology,
+    new_map: list[int],
+    merged: list[dict[int, Any]],
+) -> DistGraphTopology:
+    """The shrunk communicator's remaining work as a topology.
+
+    ``new_map[i]`` is the original id of shrunk rank ``i``.  An edge
+    ``u -> v`` of the original topology survives iff both endpoints are
+    alive and ``u``'s block has not already landed in ``v``'s buffer
+    (``merged``, keyed by original ids) — so a recovery round resends
+    nothing that was delivered before the failure.
+    """
+    remap = {orig: new for new, orig in enumerate(new_map)}
+    out_lists = []
+    for orig_u in new_map:
+        out_lists.append([
+            remap[orig_v]
+            for orig_v in topology.out_neighbors(orig_u)
+            if orig_v in remap and orig_u not in merged[orig_v]
+        ])
+    return DistGraphTopology(len(new_map), out_lists)
+
+
+def _run_with_recovery(
+    algorithm: NeighborhoodAllgatherAlgorithm,
+    topology: DistGraphTopology,
+    machine: Machine,
+    msg_size: int,
+    block_sizes: list[int] | None,
+    payloads: list[Any],
+    opts: RunOptions,
+    setup_stats: SetupStats,
+    requested_algorithm: str | None,
+) -> AllgatherRun:
+    """ULFM-style recovery loop for crash plans (shrink/degrade modes).
+
+    Round 0 runs the requested algorithm over the full communicator.  On a
+    :class:`~repro.sim.engine.RankFailedError` the loop charges the
+    detection time, compacts the survivors into a shrunk communicator
+    (rank ``survivors[i]`` becomes rank ``i`` — relabeling, as
+    ``MPI_Comm_shrink`` does; the machine placement of relabeled ranks is
+    an accepted model approximation), re-plans over the residual topology
+    (delivered blocks are never resent), charges the replan's setup
+    negotiation in simulated time, and runs again under the shrunk fault
+    plan.  ``shrink`` keeps the algorithm (via its ``replan`` hook, with a
+    degrade-to-naive guard if the replanned setup is not survivable);
+    ``degrade`` switches to setup-free naive immediately.  One trace
+    collector spans all rounds, so conservation laws hold over the whole
+    recovered run.
+    """
+    mode = opts.on_failure
+    trace = opts.trace
+    collector = TraceCollector(keep_records=trace) if trace else None
+    wall_start = time.perf_counter()
+
+    plan = opts.fault_plan
+    max_rounds = len(plan.crashes) + 1
+    rank_map = list(range(topology.n))        # current rank -> original rank
+    merged: list[dict[int, Any]] = [{} for _ in range(topology.n)]
+    missing: list[int] = []
+    fault_totals: dict[str, int] = {}
+    current_alg = algorithm
+    current_topology = topology
+    offset = 0.0          # sim time consumed by failed rounds + detection + replans
+    rounds = 0
+    replan_messages = 0
+    messages = total_bytes = 0
+    round_make = 0.0
+    engine = None
+
+    while True:
+        n_cur = current_topology.n
+        injector = FaultInjector(plan) if plan is not None else None
+        engine = Engine(
+            n_ranks=n_cur,
+            machine=machine,
+            trace=collector,
+            noise_seed=opts.noise_seed,
+            faults=injector,
+            max_sim_time=opts.max_sim_time,
+            max_events=opts.max_events,
+        )
+        ctx = ExecutionContext(
+            topology=current_topology,
+            machine=machine,
+            msg_size=msg_size,
+            payloads=[payloads[orig] for orig in rank_map],
+            results=[{} for _ in range(n_cur)],
+            block_sizes=(None if block_sizes is None
+                         else [block_sizes[orig] for orig in rank_map]),
+        )
+        engine.spawn_all(current_alg.program_factory(ctx))
+        failure: RankFailedError | None = None
+        try:
+            round_make = engine.run()
+        except RankFailedError as exc:
+            failure = exc
+        # Merge whatever landed this round (partial on failure), remapping
+        # both buffer owners and block sources back to original ids.
+        for r_cur in range(n_cur):
+            dst = merged[rank_map[r_cur]]
+            for src_cur, payload in ctx.results[r_cur].items():
+                dst[rank_map[src_cur]] = payload
+        messages += engine.messages_sent
+        total_bytes += engine.bytes_sent
+        if injector is not None:
+            for key, value in injector.stats().items():
+                fault_totals[key] = fault_totals.get(key, 0) + value
+
+        if failure is None:
+            missing.extend(rank_map[r] for r in engine.crashed_ranks)
+            simulated = offset + round_make
+            finish_times = {
+                rank_map[r]: offset + t for r, t in engine.finish_times().items()
+            }
+            break
+
+        rounds += 1
+        missing.extend(rank_map[r] for r in failure.failed_ranks)
+        if rounds >= max_rounds:
+            raise failure  # unreachable: every failed round kills >= 1 rank
+        offset += failure.detection_time
+        survivors_cur = list(failure.survivors)
+        if not survivors_cur:
+            simulated = offset
+            finish_times = {}
+            round_make = 0.0
+            break
+        new_map = [rank_map[r] for r in survivors_cur]
+        current_topology = _residual_topology(topology, new_map, merged)
+        plan = plan.shrink(survivors_cur, failure.detection_time)
+        rank_map = new_map
+        if mode == "degrade":
+            next_alg = get_algorithm("naive")
+        else:
+            next_alg = current_alg.replan(tuple(new_map), merged)
+        replan_stats = next_alg.setup(current_topology, machine)
+        if plan is not None and not plan.setup_survivable(replan_stats.protocol_messages):
+            # The shrunk plan's loss would starve the replanned setup
+            # negotiation: degrade the recovery round to setup-free naive.
+            next_alg = get_algorithm("naive")
+            replan_stats = next_alg.setup(current_topology, machine)
+        replan_messages += replan_stats.protocol_messages
+        offset += replan_stats.simulated_time
+        current_alg = next_alg
+
+    missing_ranks = tuple(sorted(set(missing)))
+    utilization = (
+        engine.fabric.utilization(round_make)
+        if trace and round_make > 0 else None
+    )
+    return AllgatherRun(
+        algorithm=algorithm.name,
+        msg_size=msg_size,
+        simulated_time=simulated,
+        finish_times=finish_times,
+        messages_sent=messages,
+        bytes_sent=total_bytes,
+        setup_stats=setup_stats,
+        results=merged,
+        trace=collector,
+        wall_time=time.perf_counter() - wall_start,
+        block_sizes=block_sizes,
+        utilization=utilization,
+        fault_stats=fault_totals or None,
+        requested_algorithm=requested_algorithm,
+        trace_summary=collector.summary() if collector is not None else None,
+        missing_ranks=missing_ranks,
+        recovery=(
+            {
+                "mode": mode,
+                "rounds": rounds,
+                "recovered_with": current_alg.name,
+                "replan_messages": replan_messages,
+                "time_to_recover": offset,
+            }
+            if missing_ranks else None
+        ),
+    )
 
 
 def load_imbalance(run: AllgatherRun) -> float:
@@ -519,6 +748,7 @@ def verify_allgather(
     topology: DistGraphTopology,
     run: AllgatherRun,
     expected_payloads: list[Any] | None = None,
+    allow_missing: tuple[int, ...] | set[int] = (),
 ) -> None:
     """Assert the MPI post-condition: every rank received exactly the blocks
     of its incoming neighbors, each carrying the payload its source sent.
@@ -527,6 +757,13 @@ def verify_allgather(
     it defaults to the rank id, matching :func:`run_allgather`'s default
     payloads.  Pass the same ``payloads`` list given to the run to verify
     non-default-payload executions.
+
+    ``allow_missing`` relaxes the post-condition for fail-stop recovery
+    (pass :attr:`AllgatherRun.missing_ranks`): a listed rank's own buffer
+    is not checked at all (it died mid-collective), and its block is
+    *optional* in survivors' buffers — present if it was delivered before
+    the crash, absent otherwise.  Every present block, crashed source or
+    not, must still ride a topology edge and carry the right payload.
 
     Raises :class:`VerificationError` (an :class:`AssertionError` subclass
     carrying the violating (rank, neighbor, got, expected) as data) on any
@@ -537,10 +774,13 @@ def verify_allgather(
             f"expected_payloads has {len(expected_payloads)} entries for "
             f"{topology.n} ranks"
         )
+    allow = set(allow_missing)
     for v in range(topology.n):
+        if v in allow:
+            continue
         expected = set(topology.in_neighbors(v))
         got = set(run.results[v])
-        missing = expected - got
+        missing = expected - got - allow
         extra = got - expected
         if missing or extra:
             raise VerificationError(

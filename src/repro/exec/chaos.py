@@ -1,0 +1,326 @@
+"""Chaos harness for the exec layer: prove the sweep machinery survives.
+
+``repro chaos`` runs small real sweeps through :func:`repro.exec
+.orchestrator.execute` while deliberately breaking the machinery
+around them, and asserts the advertised guarantees actually hold:
+
+* **Worker kills** — marker files (see ``orchestrator._chaos_kill``)
+  make a worker ``os._exit(137)`` mid-spec.  The sweep must still
+  return every result, the killed specs must show ``attempts >= 2``
+  in the manifest (the death plus at least one isolated retry), and
+  a ``poison-`` marker that kills *every* attempt must end up
+  quarantined as a ``WorkerCrashed`` error instead of hanging the
+  sweep.
+* **Manifest truncation** — a resumed sweep must tolerate a torn tail
+  line (interrupted write) without recomputing completed specs.
+* **Cache corruption** — a garbage cache entry must be detected,
+  invalidated, and recomputed bit-identically; every other entry
+  still answers from cache.
+
+All sweeps are deterministic (seeded specs on the deterministic
+engine), so every assertion compares against values the same harness
+computed moments earlier — no goldens to maintain.  A failed check
+raises :class:`ChaosError` and leaves the scratch directory behind
+for inspection; a clean pass deletes it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.exec.cache import ResultCache
+from repro.exec.orchestrator import CHAOS_ENV, MAX_ATTEMPTS, execute
+from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
+
+#: Algorithms exercised by every chaos sweep.
+ALGORITHMS = ("naive", "common_neighbor", "distance_halving")
+
+#: Message sizes per algorithm (small: chaos is about the exec layer,
+#: not the simulation).
+MSG_SIZES = (256, 1024)
+
+
+class ChaosError(AssertionError):
+    """A chaos invariant did not hold; the message names the check."""
+
+
+@dataclass
+class ChaosReport:
+    """Every check a chaos run performed, with its outcome."""
+
+    iterations: int
+    kill_workers: bool
+    checks: list[dict[str, Any]] = field(default_factory=list)
+    artifacts_dir: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return all(c["ok"] for c in self.checks)
+
+    @property
+    def failed(self) -> list[dict[str, Any]]:
+        return [c for c in self.checks if not c["ok"]]
+
+    def summary(self) -> str:
+        passed = sum(1 for c in self.checks if c["ok"])
+        status = "PASS" if self.ok else "FAIL"
+        return (
+            f"chaos: {status} — {passed}/{len(self.checks)} checks over "
+            f"{self.iterations} iteration(s)"
+        )
+
+
+def _sweep_specs(iteration: int, seed: int) -> list[RunSpec]:
+    """A small deterministic sweep, fresh topology per iteration."""
+    topology = TopologySpec(
+        kind="random", n=8, density=0.45, seed=seed * 1009 + iteration
+    )
+    machine = MachineSpec.for_ranks(8, ranks_per_socket=4)
+    return [
+        RunSpec(algorithm=alg, topology=topology, machine=machine,
+                msg_size=size)
+        for alg in ALGORITHMS
+        for size in MSG_SIZES
+    ]
+
+
+@contextmanager
+def _chaos_env(chaos_dir: Path) -> Iterator[None]:
+    """Point workers at the marker directory for the duration."""
+    previous = os.environ.get(CHAOS_ENV)
+    os.environ[CHAOS_ENV] = str(chaos_dir)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(CHAOS_ENV, None)
+        else:
+            os.environ[CHAOS_ENV] = previous
+
+
+def _read_manifest(path: Path) -> list[dict]:
+    entries = []
+    for line in path.read_text().splitlines():
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return entries
+
+
+class _Checker:
+    """Accumulates named checks; raises on the first failure."""
+
+    def __init__(self, report: ChaosReport, iteration: int):
+        self.report = report
+        self.iteration = iteration
+
+    def check(self, name: str, ok: bool, detail: str = "") -> None:
+        self.report.checks.append(
+            {"iteration": self.iteration, "name": name, "ok": bool(ok),
+             "detail": detail}
+        )
+        if not ok:
+            raise ChaosError(f"[iteration {self.iteration}] {name}: {detail}")
+
+
+def run_chaos(
+    iterations: int = 3,
+    workers: int = 2,
+    kill_workers: bool = False,
+    seed: int = 0,
+    root: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ChaosReport:
+    """Run the chaos battery; see the module docstring for the checks.
+
+    Parameters
+    ----------
+    iterations:
+        Full battery repetitions (fresh sweep, fresh scratch state each).
+    workers:
+        Pool width for the injected-failure sweeps (min 2 when killing —
+        a serial run has no worker processes to kill).
+    kill_workers:
+        Enable the worker-kill and poison-quarantine phases.  Off by
+        default because they spawn and destroy real processes.
+    seed:
+        Varies every sweep topology (chaos runs are still deterministic
+        per seed).
+    root:
+        Scratch directory; a temp dir is created (and removed on a clean
+        pass) when omitted.  On failure the directory is always kept and
+        recorded in :attr:`ChaosReport.artifacts_dir`.
+    """
+    report = ChaosReport(iterations=iterations, kill_workers=kill_workers)
+    own_root = root is None
+    root = Path(root) if root is not None else Path(
+        tempfile.mkdtemp(prefix="repro-chaos-")
+    )
+    report.artifacts_dir = str(root)
+    say = progress if progress is not None else (lambda _msg: None)
+    try:
+        for iteration in range(iterations):
+            _run_iteration(
+                _Checker(report, iteration),
+                _sweep_specs(iteration, seed),
+                root / f"iter{iteration}",
+                workers=max(2, workers) if kill_workers else workers,
+                kill_workers=kill_workers,
+                say=say,
+            )
+    except ChaosError as exc:
+        exc.artifacts_dir = str(root)  # kept for inspection
+        raise
+    else:
+        if own_root:
+            shutil.rmtree(root, ignore_errors=True)
+            report.artifacts_dir = None
+    return report
+
+
+def _run_iteration(
+    checker: _Checker,
+    specs: list[RunSpec],
+    scratch: Path,
+    workers: int,
+    kill_workers: bool,
+    say: Callable[[str], None],
+) -> None:
+    it = checker.iteration
+    scratch.mkdir(parents=True, exist_ok=True)
+    chaos_dir = scratch / "markers"
+    chaos_dir.mkdir()
+    cache = ResultCache(cache_dir=scratch / "cache")
+    manifest = scratch / "manifest.jsonl"
+    digests = [spec.digest() for spec in specs]
+    victims = [0, len(specs) // 2] if kill_workers else []
+
+    # Phase A — compute the sweep, killing some workers mid-spec.
+    for v in victims:
+        (chaos_dir / f"kill-{digests[v][:12]}").write_text("")
+    say(f"[iter {it}] phase A: sweep of {len(specs)} specs"
+        + (f", killing workers on {len(victims)}" if victims else ""))
+    with _chaos_env(chaos_dir):
+        first = execute(specs, workers=workers, cache=cache,
+                        manifest_path=manifest)
+    checker.check(
+        "kill/all-specs-complete",
+        all(o.ok for o in first.outcomes),
+        "; ".join(e for _, e in first.errors) or "ok",
+    )
+    for v in victims:
+        checker.check(
+            "kill/marker-claimed",
+            (chaos_dir / f"killed-{digests[v][:12]}").exists()
+            and not (chaos_dir / f"kill-{digests[v][:12]}").exists(),
+            f"spec {v} marker not atomically claimed",
+        )
+        checker.check(
+            "kill/victim-retried",
+            2 <= first.outcomes[v].attempts <= MAX_ATTEMPTS,
+            f"spec {v} attempts={first.outcomes[v].attempts}, expected >= 2",
+        )
+    if victims:
+        checker.check(
+            "kill/retries-counted",
+            first.stats["retried"] >= len(victims),
+            f"stats retried={first.stats['retried']} < {len(victims)}",
+        )
+    baseline = {d: o.run.simulated_time
+                for d, o in zip(digests, first.outcomes)}
+
+    # Phase B — warm rerun: everything answered without recomputing.
+    say(f"[iter {it}] phase B: warm resume")
+    warm = execute(specs, workers=workers, cache=cache,
+                   manifest_path=manifest)
+    checker.check(
+        "resume/zero-recompute",
+        warm.stats["computed"] == 0
+        and warm.stats["from_cache"] == len(specs),
+        f"computed={warm.stats['computed']} from_cache={warm.stats['from_cache']}",
+    )
+    checker.check(
+        "resume/manifest-replayed",
+        warm.stats["resumed_manifest_entries"] == len(specs),
+        f"resumed={warm.stats['resumed_manifest_entries']}",
+    )
+    checker.check(
+        "resume/bit-identical",
+        all(o.run.simulated_time == baseline[d]
+            for d, o in zip(digests, warm.outcomes)),
+        "cached simulated_time drifted from the computed value",
+    )
+
+    # Phase C — torn manifest tail: resume skips the torn line cleanly.
+    say(f"[iter {it}] phase C: manifest truncation")
+    raw = manifest.read_bytes()
+    manifest.write_bytes(raw[: int(len(raw) * 0.6)])
+    torn = execute(specs, workers=workers, cache=cache,
+                   manifest_path=manifest)
+    checker.check(
+        "truncate/zero-recompute",
+        torn.stats["computed"] == 0 and all(o.ok for o in torn.outcomes),
+        f"computed={torn.stats['computed']}",
+    )
+
+    # Phase D — corrupt one cache entry: detected, recomputed identically.
+    say(f"[iter {it}] phase D: cache corruption")
+    corrupt_idx = len(specs) - 1
+    cache.path(specs[corrupt_idx]).write_text('{"salt": "garbage', )
+    fresh_cache = ResultCache(cache_dir=scratch / "cache")  # clean counters
+    after = execute(specs, workers=workers, cache=fresh_cache,
+                    manifest_path=manifest)
+    checker.check(
+        "corrupt/recompute-exactly-one",
+        after.stats["computed"] == 1
+        and after.stats["cache"]["invalidated"] >= 1,
+        f"computed={after.stats['computed']} "
+        f"invalidated={after.stats['cache']['invalidated']}",
+    )
+    checker.check(
+        "corrupt/recompute-deterministic",
+        after.outcomes[corrupt_idx].ok
+        and after.outcomes[corrupt_idx].run.simulated_time
+        == baseline[digests[corrupt_idx]],
+        "recomputed run differs from the original",
+    )
+
+    # Phase E — poison spec: killed on every attempt, quarantined.
+    if kill_workers:
+        say(f"[iter {it}] phase E: poison quarantine")
+        poison_idx = 1
+        (chaos_dir / f"poison-{digests[poison_idx][:12]}").write_text("")
+        poison_cache = ResultCache(cache_dir=scratch / "cache-poison")
+        poison_manifest = scratch / "manifest-poison.jsonl"
+        with _chaos_env(chaos_dir):
+            poisoned = execute(specs, workers=workers, cache=poison_cache,
+                               manifest_path=poison_manifest)
+        bad = poisoned.outcomes[poison_idx]
+        checker.check(
+            "poison/quarantined",
+            (not bad.ok) and (bad.error or "").startswith("WorkerCrashed")
+            and bad.attempts == MAX_ATTEMPTS,
+            f"error={bad.error!r} attempts={bad.attempts}",
+        )
+        checker.check(
+            "poison/others-survive",
+            all(o.ok for i, o in enumerate(poisoned.outcomes)
+                if i != poison_idx),
+            "; ".join(e for _, e in poisoned.errors),
+        )
+        entries = {e["digest"]: e for e in _read_manifest(poison_manifest)}
+        entry = entries.get(digests[poison_idx], {})
+        checker.check(
+            "poison/manifest-attempts",
+            entry.get("status") == "error"
+            and entry.get("attempts") == MAX_ATTEMPTS,
+            f"manifest entry: {entry}",
+        )

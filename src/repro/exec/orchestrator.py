@@ -16,6 +16,12 @@ Guarantees:
   verification, bad parameters) becomes an error outcome; the sweep
   continues and the caller decides whether errors are fatal
   (:meth:`SweepResult.raise_errors`) or data (the resilience study).
+  A worker process that *dies* mid-spec (OOM kill, segfault, chaos
+  injection) is distinguished from a spec that raises: every spec
+  stranded by the broken pool is re-run on a fresh single-worker pool
+  to identify the culprit, and only a spec that kills its worker on
+  every attempt (:data:`MAX_ATTEMPTS`) is quarantined with a
+  ``WorkerCrashed`` error.
 * **Resumability** — completed specs are stored in the cache and appended
   to an optional JSONL manifest as they finish; re-running an interrupted
   sweep replays the finished prefix from cache at file-read speed.
@@ -45,6 +51,22 @@ from repro.exec.spec import RunSpec
 #: Outcome sources, in the order a resumed sweep prefers them.
 SOURCES = ("cache", "computed", "error")
 
+#: Times a spec is attempted when its worker process dies mid-run: the
+#: shared-pool attempt plus up to two isolated retries.  A broken pool
+#: cannot attribute the death (every outstanding future fails alike, and
+#: a stranded spec may never have started), so each stranded spec gets
+#: one retry *beyond* the first isolated death before being quarantined
+#: with a ``WorkerCrashed`` error.
+MAX_ATTEMPTS = 3
+
+#: Base backoff (seconds) slept before re-running a crashed spec, scaled
+#: by the attempt number already consumed.
+RETRY_BACKOFF = 0.05
+
+#: Environment variable naming the chaos-marker directory (see
+#: :func:`_chaos_kill`); unset in normal operation.
+CHAOS_ENV = "REPRO_CHAOS_DIR"
+
 
 @dataclass
 class SpecOutcome:
@@ -54,6 +76,7 @@ class SpecOutcome:
     run: AllgatherRun | None
     error: str | None = None
     source: str = "computed"
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -90,9 +113,40 @@ class SweepResult:
         return self
 
 
+def _chaos_kill(spec: RunSpec) -> None:
+    """Chaos-test hook: die mid-spec when a marker file asks for it.
+
+    ``REPRO_CHAOS_DIR`` names a directory of markers keyed by spec digest
+    prefix: ``kill-<d>`` kills the worker exactly once (the marker is
+    atomically renamed before dying, so the retry survives) and
+    ``poison-<d>`` kills it on *every* attempt (exercises quarantine).
+    Only fires inside a pool worker — a serial in-process run ignores the
+    markers, so chaos can never take down the orchestrating process.
+    """
+    chaos_dir = os.environ.get(CHAOS_ENV)
+    if not chaos_dir:
+        return
+    import multiprocessing
+
+    if multiprocessing.parent_process() is None:
+        return  # never kill the orchestrating process itself
+    short = spec.digest()[:12]
+    root = Path(chaos_dir)
+    if (root / f"poison-{short}").exists():
+        os._exit(137)
+    marker = root / f"kill-{short}"
+    if marker.exists():
+        try:
+            marker.rename(root / f"killed-{short}")
+        except OSError:
+            return  # a concurrent attempt claimed the marker and died for it
+        os._exit(137)
+
+
 def _execute_spec(spec: RunSpec) -> tuple[dict | None, str | None]:
     """Run one spec; exceptions become ``TypeName: message`` strings."""
     try:
+        _chaos_kill(spec)
         run = spec.run()
         return run_to_dict(run.slim()), None
     except BaseException as exc:  # noqa: BLE001 - sweeps must survive workers
@@ -136,6 +190,7 @@ class _Manifest:
             "label": outcome.spec.label(),
             "status": "ok" if outcome.ok else "error",
             "source": outcome.source,
+            "attempts": outcome.attempts,
         }
         if outcome.ok:
             entry["simulated_time"] = outcome.run.simulated_time
@@ -205,15 +260,21 @@ def execute(
             pending.append(i)
 
     # Phase 2 — compute the rest (pool or in-process).
-    def land(index: int, payload: dict | None, error: str | None) -> None:
+    def land(
+        index: int,
+        payload: dict | None,
+        error: str | None,
+        attempts: int = 1,
+    ) -> None:
         if error is not None:
             finish(index, SpecOutcome(specs[index], None, error=error,
-                                      source="error"))
+                                      source="error", attempts=attempts))
             return
         run = run_from_dict(payload)
         if cache is not None:
             cache.put(specs[index], run)
-        finish(index, SpecOutcome(specs[index], run, source="computed"))
+        finish(index, SpecOutcome(specs[index], run, source="computed",
+                                  attempts=attempts))
 
     if workers <= 1 or len(pending) <= 1:
         for i in pending:
@@ -221,6 +282,7 @@ def execute(
             land(i, payload, error)
     else:
         pool_size = min(workers, len(pending))
+        crashed: list[int] = []
         with ProcessPoolExecutor(max_workers=pool_size) as pool:
             futures = {
                 pool.submit(_worker, (i, specs[i])): i for i in pending
@@ -228,13 +290,43 @@ def execute(
             remaining = set(futures)
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                broken: list[int] = []
                 for future in finished:
                     index = futures[future]
                     try:
                         _, payload, error = future.result()
-                    except BaseException as exc:  # dead worker / broken pool
-                        payload, error = None, f"{type(exc).__name__}: {exc}"
+                    except BaseException:  # noqa: BLE001 - dead worker
+                        broken.append(index)
+                        continue
                     land(index, payload, error)
+                if broken:
+                    # A dying worker breaks the whole pool: every
+                    # outstanding future fails with BrokenProcessPool,
+                    # which says nothing about *which* spec killed it.
+                    # Stop draining and re-run the stragglers in
+                    # isolation to find the culprit.
+                    crashed = sorted(set(broken) | {futures[f] for f in remaining})
+                    break
+        for index in crashed:
+            attempts = 1  # the shared-pool attempt that died
+            payload = None
+            error: str | None = "WorkerCrashed: worker died before returning"
+            while attempts < MAX_ATTEMPTS:
+                time.sleep(RETRY_BACKOFF * attempts)
+                attempts += 1
+                with ProcessPoolExecutor(max_workers=1) as solo:
+                    try:
+                        _, payload, error = solo.submit(
+                            _worker, (index, specs[index])
+                        ).result()
+                        break
+                    except BaseException as exc:  # noqa: BLE001
+                        payload = None
+                        error = (
+                            f"WorkerCrashed: worker died on all {attempts} "
+                            f"attempts (last: {type(exc).__name__})"
+                        )
+            land(index, payload, error, attempts=attempts)
 
     manifest.close()
     failed = sum(1 for o in outcomes if o is not None and not o.ok)
@@ -243,6 +335,7 @@ def execute(
         "from_cache": sum(1 for o in outcomes if o.source == "cache"),
         "computed": sum(1 for o in outcomes if o.source == "computed"),
         "failed": failed,
+        "retried": sum(1 for o in outcomes if o is not None and o.attempts > 1),
         "workers": max(1, workers),
         "resumed_manifest_entries": resumed,
         "wall_seconds": time.perf_counter() - wall_start,

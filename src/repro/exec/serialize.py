@@ -21,7 +21,8 @@ from repro.collectives.runner import AllgatherRun
 #: Serialization format version (bumped on layout changes; part of the
 #: cache salt so stale entries are recomputed, never misread).
 #: v2: slim runs carry ``trace_summary`` (per-class conservation aggregates).
-FORMAT_VERSION = 2
+#: v3: slim runs carry ``missing_ranks`` + ``recovery`` (fail-stop faults).
+FORMAT_VERSION = 3
 
 #: Run fields excluded from the determinism contract (host-dependent).
 WALL_CLOCK_FIELDS = ("wall_time",)
@@ -70,6 +71,8 @@ def run_to_dict(run: AllgatherRun) -> dict:
         "requested_algorithm": run.requested_algorithm,
         "trace_summary": _jsonable(run.trace_summary),
         "sim_path": run.sim_path,
+        "missing_ranks": list(run.missing_ranks),
+        "recovery": _jsonable(run.recovery),
     }
 
 
@@ -106,4 +109,6 @@ def run_from_dict(data: dict) -> AllgatherRun:
         trace_summary=data["trace_summary"],
         # Absent in pre-hybrid payloads (every run was the engine then).
         sim_path=data.get("sim_path", "des"),
+        missing_ranks=tuple(data.get("missing_ranks", ())),
+        recovery=data.get("recovery"),
     )

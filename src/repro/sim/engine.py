@@ -26,7 +26,7 @@ from typing import Callable, Generator, Iterable
 
 from repro.cluster.machine import Machine
 from repro.cluster.spec import LinkClass
-from repro.sim.fabric import Fabric
+from repro.sim.fabric import Fabric, MessageTiming
 from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.request import Request, RequestKind
 from repro.sim.tracing import TraceCollector
@@ -40,6 +40,56 @@ _INF = math.inf
 
 class DeadlockError(RuntimeError):
     """Raised when the event heap empties while processes are still blocked."""
+
+
+class RetriesExhaustedError(RuntimeError):
+    """A message exhausted its :class:`~repro.sim.faults.MessageLoss` retry
+    budget: every transmission attempt was dropped and the sender gave up
+    after its final ack timeout.
+
+    Previously this surfaced only later — and anonymously — as a
+    ``DeadlockError`` once the starved receiver drained the event heap.  The
+    structured fields name the failing transfer directly:
+
+    * ``rank`` — the sending rank;
+    * ``peer`` — the destination rank that will never receive the message;
+    * ``attempts`` — transmissions made (first try + retransmissions);
+    * ``last_timeout`` — the ack-timeout (seconds) that expired last.
+    """
+
+    def __init__(self, message: str, *, rank: int | None = None,
+                 peer: int | None = None, attempts: int | None = None,
+                 last_timeout: float | None = None):
+        super().__init__(message)
+        self.rank = rank
+        self.peer = peer
+        self.attempts = attempts
+        self.last_timeout = last_timeout
+
+
+class RankFailedError(RuntimeError):
+    """Fail-stop failure notification: crashed ranks left survivors stalled.
+
+    Raised only when the fault plan installs a
+    :class:`~repro.sim.faults.FailureDetector`; without one a crash that
+    starves survivors surfaces as :class:`DeadlockError`, exactly like a
+    real system with no failure detection.  Detection cost is charged in
+    simulated time: ``detection_time`` is
+    ``max(stall time, last crash) + heartbeat_interval + suspicion_timeout``
+    and the engine clock is advanced to it before raising.
+
+    * ``failed_ranks`` — crashed ranks, ascending (engine-local ids);
+    * ``detection_time`` — simulated time at which survivors learned of
+      the failure;
+    * ``survivors`` — all non-crashed ranks, ascending.
+    """
+
+    def __init__(self, message: str, *, failed_ranks: tuple[int, ...],
+                 detection_time: float, survivors: tuple[int, ...]):
+        super().__init__(message)
+        self.failed_ranks = failed_ranks
+        self.detection_time = detection_time
+        self.survivors = survivors
 
 
 class SimTimeoutError(RuntimeError):
@@ -168,6 +218,19 @@ class Engine:
         self._compute_scale: list[float] | None = None
         if faults is not None and faults.has_stragglers:
             self._compute_scale = [faults.compute_factor(r) for r in range(n_ranks)]
+        # Fail-stop state.  An empty crash table keeps _resume and post_send
+        # branch-cheap for crash-free plans.
+        self._crash_times: dict[int, float] = (
+            dict(faults.crash_times) if faults is not None else {}
+        )
+        self._detector = faults.detector if faults is not None else None
+        #: Ranks actually killed by a RankCrash fault during this run.
+        self.crashed_ranks: set[int] = set()
+        #: Ranks whose in-flight sends were crash-dropped.  A sender whose
+        #: program completes before its crash time is never killed by an
+        #: event, yet its undelivered bytes still die with it — to a
+        #: starved receiver it is simply a dead peer (see _on_stall).
+        self._crash_dropped_senders: set[int] = set()
 
         self.now = 0.0
         self.rank_now = [0.0] * n_ranks
@@ -287,10 +350,63 @@ class Engine:
                 resume(rank, time)
             self.events_processed = events
         if self._programs:
-            raise DeadlockError(
-                f"simulation deadlocked; blocked processes: {self._blocked_detail()}"
-            )
+            self._on_stall()
         return self.makespan()
+
+    def _on_stall(self) -> None:
+        """Event heap drained with live processes: detection or deadlock.
+
+        A blocked rank with a pending crash time is doomed too — no event
+        can ever resume it before simulated time runs past its crash — so
+        it is killed here rather than left to masquerade as a survivor.  If
+        killing the doomed unblocks the stall (everyone else had already
+        finished), the run completes; otherwise a detector converts the
+        stall into a structured :class:`RankFailedError`, and a plan
+        without one deadlocks exactly as a system with no failure
+        detection would.
+        """
+        if self._crash_times:
+            for rank in [r for r in self._programs if r in self._crash_times]:
+                self._kill(rank)
+            if not self._programs:
+                return
+            # A sender whose program finished before its crash time but
+            # whose in-flight bytes were crash-dropped is dead all the
+            # same: its block never arrived and its heartbeats stopped, so
+            # a starved receiver cannot tell "finished then died" from
+            # "died mid-send".  Reclassify it as crashed so detection
+            # (below) names it instead of reporting a bare deadlock.
+            for rank in self._crash_dropped_senders:
+                if rank not in self._programs and rank not in self.crashed_ranks:
+                    self.crashed_ranks.add(rank)
+                    self.faults.rank_crashes += 1
+            if self.crashed_ranks and self._detector is not None:
+                last_crash = max(self._crash_times[r] for r in self.crashed_ranks)
+                detection = max(self.now, last_crash) + self._detector.detection_lag
+                self.now = detection
+                failed = tuple(sorted(self.crashed_ranks))
+                survivors = tuple(
+                    r for r in range(self.n_ranks) if r not in self.crashed_ranks
+                )
+                raise RankFailedError(
+                    f"rank(s) {list(failed)} failed; detected at "
+                    f"{detection:.6e}s; blocked survivors: {self._blocked_detail()}",
+                    failed_ranks=failed, detection_time=detection,
+                    survivors=survivors,
+                )
+        raise DeadlockError(
+            f"simulation deadlocked; blocked processes: {self._blocked_detail()}"
+        )
+
+    def _kill(self, rank: int) -> None:
+        """Fail-stop: tear down a crashed rank's process mid-run."""
+        gen = self._programs.pop(rank, None)
+        if gen is not None:
+            gen.close()
+        self._blocked.pop(rank, None)
+        if rank not in self.crashed_ranks:
+            self.crashed_ranks.add(rank)
+            self.faults.rank_crashes += 1
 
     def _blocked_detail(self) -> str:
         """Lazily-formatted state of every unfinished process (error paths
@@ -323,6 +439,14 @@ class Engine:
         gen = self._programs.get(rank)
         if gen is None:  # stale event (e.g. barrier resumed earlier); ignore
             return
+        if self._crash_times:
+            crash_at = self._crash_times.get(rank)
+            if crash_at is not None and time >= crash_at:
+                # Fail-stop at event granularity: the rank's first event at
+                # or after its crash time kills it instead of resuming it.
+                # A rank that finishes before its crash time is never killed.
+                self._kill(rank)
+                return
         rank_now = self.rank_now
         if time > rank_now[rank]:
             rank_now[rank] = time
@@ -444,6 +568,16 @@ class Engine:
             raise ValueError(f"destination rank {dst} out of range [0, {self.n_ranks})")
         post_time = self.rank_now[src]
         timing = self.fabric.transmit(src, dst, nbytes, post_time)
+        crash_dropped = False
+        if self._crash_times and timing.arrival != _INF:
+            crash_at = self._crash_times.get(src)
+            if crash_at is not None and timing.arrival > crash_at:
+                # In-flight send from a rank that dies before delivery: the
+                # data never lands.  Recorded in the trace as lost (inf
+                # arrival) so conservation laws still balance.
+                timing = MessageTiming(timing.send_complete, _INF,
+                                       timing.link_class, timing.attempts)
+                crash_dropped = True
         req = Request(_SEND, src, dst, tag, post_time)
         req.completion_time = timing.send_complete  # fresh request: no guard needed
         req.attempts = timing.attempts
@@ -453,14 +587,28 @@ class Engine:
             self.trace.record(src, dst, nbytes, tag, timing, post_time)
         if timing.arrival != _INF:
             self._deliver(src, dst, tag, nbytes, payload, timing.arrival)
+        elif crash_dropped:
+            req.lost = True
+            self.messages_lost += 1
+            self.faults.crash_dropped += 1
+            self._crash_dropped_senders.add(src)
         else:
             # Retry budget exhausted: the message is permanently lost.  The
             # sender's request still completes (it gave up after its last
-            # timeout); the receiver side never sees the message, so the
-            # run ends in DeadlockError — or SimTimeoutError if a watchdog
-            # budget trips first.
+            # timeout), but instead of letting the starved receiver drain
+            # the heap into an anonymous DeadlockError the failure is
+            # reported at its source, with the transfer named.
             req.lost = True
             self.messages_lost += 1
+            retry = self.faults.retry
+            raise RetriesExhaustedError(
+                f"message {src} -> {dst} ({nbytes} B, tag {tag}) lost: all "
+                f"{timing.attempts} transmission attempts dropped; last ack "
+                f"timeout {retry.delay_after(timing.attempts):.3e}s expired "
+                f"at t={timing.send_complete:.6e}s",
+                rank=src, peer=dst, attempts=timing.attempts,
+                last_timeout=retry.delay_after(timing.attempts),
+            )
         return req
 
     def post_recv(self, dst: int, src: int | None, tag: int) -> Request:

@@ -40,6 +40,15 @@ Failure semantics
   retry budget is exhausted is *lost*: it never arrives, and the run fails
   loudly (``DeadlockError`` once the event heap drains, or
   ``SimTimeoutError`` if a watchdog budget trips first).
+* :class:`RankCrash` — fail-stop death of one rank at a simulated time.
+  The engine kills the rank's generator at its first event at or after the
+  crash time, drops its in-flight sends whose arrival postdates the crash,
+  and never delivers anything from it again.  When the surviving ranks
+  stall waiting on a dead peer, a :class:`FailureDetector` (heartbeat
+  interval + suspicion timeout, both charged in simulated time) converts
+  the would-be deadlock into a structured
+  :class:`~repro.sim.engine.RankFailedError`; without a detector the run
+  fails with ``DeadlockError`` as before.
 * Setup feasibility — pattern setup (the ``MPI_Dist_graph_create_adjacent``
   negotiation) is priced analytically, before simulated time 0, so loss
   windows do not apply to it; only the plan's *peak* loss probability
@@ -52,6 +61,7 @@ Failure semantics
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.cluster.spec import LinkClass
@@ -141,6 +151,53 @@ class MessageLoss:
 
 
 @dataclass(frozen=True)
+class RankCrash:
+    """Fail-stop death of one rank at a simulated time.
+
+    The rank executes normally until ``time``; its first engine event at or
+    after that instant kills it instead of resuming it.  A crash time past
+    the rank's natural finish is a no-op for that rank.
+    """
+
+    rank: int
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if not self.time >= 0.0:
+            raise ValueError(f"crash time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class FailureDetector:
+    """Timeout-based failure detection, charged in simulated time.
+
+    Survivors notice a dead peer after missing heartbeats: detection
+    completes ``heartbeat_interval + suspicion_timeout`` seconds after the
+    crash (or after the survivors stall, whichever is later).  The engine
+    raises :class:`~repro.sim.engine.RankFailedError` at that instant
+    instead of deadlocking.
+    """
+
+    heartbeat_interval: float = 100e-6
+    suspicion_timeout: float = 400e-6
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0, got {self.heartbeat_interval}")
+        if self.suspicion_timeout <= 0:
+            raise ValueError(
+                f"suspicion_timeout must be > 0, got {self.suspicion_timeout}")
+
+    @property
+    def detection_lag(self) -> float:
+        """Sim-time between a crash (or stall) and its notification."""
+        return self.heartbeat_interval + self.suspicion_timeout
+
+
+@dataclass(frozen=True)
 class RetryPolicy:
     """Ack-timeout + exponential-backoff retransmission.
 
@@ -180,6 +237,12 @@ class FaultPlan:
     losses: tuple[MessageLoss, ...] = ()
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     seed: int = 0
+    crashes: tuple[RankCrash, ...] = ()
+    #: Installed by default so crash plans fail loudly instead of hanging;
+    #: irrelevant (and never consulted) when ``crashes`` is empty.  Set to
+    #: ``None`` to model a system with no failure detection (crashes then
+    #: surface as ``DeadlockError``).
+    detector: FailureDetector | None = field(default_factory=FailureDetector)
 
     def __post_init__(self) -> None:
         seen = set()
@@ -187,11 +250,17 @@ class FaultPlan:
             if s.rank in seen:
                 raise ValueError(f"duplicate straggler spec for rank {s.rank}")
             seen.add(s.rank)
+        seen = set()
+        for c in self.crashes:
+            if c.rank in seen:
+                raise ValueError(f"duplicate crash spec for rank {c.rank}")
+            seen.add(c.rank)
 
     def is_noop(self) -> bool:
         """True when the plan perturbs nothing (strict no-op guarantee)."""
         return (
-            all(f.is_noop for f in self.link_faults)
+            not self.crashes
+            and all(f.is_noop for f in self.link_faults)
             and all(s.is_noop for s in self.stragglers)
             and all(l.is_noop for l in self.losses)
         )
@@ -225,19 +294,81 @@ class FaultPlan:
             parts.append(f"{len(self.stragglers)} straggler(s)")
         if self.losses:
             parts.append(f"loss p<={self.peak_loss_probability():g}")
+        if self.crashes:
+            parts.append(f"{len(self.crashes)} crash(es)")
         return "clean" if not parts else ", ".join(parts)
+
+    def shrink(self, survivors: "Sequence[int]", offset: float) -> "FaultPlan":
+        """The plan seen by a recovery round over the compacted survivors.
+
+        ``survivors`` are original rank ids in ascending order; survivor
+        ``survivors[i]`` becomes rank ``i`` of the shrunk communicator.
+        ``offset`` is the simulated time already elapsed (crash detection
+        included): time windows shift left by it, specs whose windows land
+        entirely in the past are dropped, and pending crashes of surviving
+        ranks fire at ``max(0, time - offset)``.  Startup delays were paid
+        in the original round and do not recur; compute factors persist
+        (slow hardware stays slow).  Retry policy, seed, and detector carry
+        over unchanged.
+        """
+        remap = {orig: new for new, orig in enumerate(survivors)}
+        alive = set(survivors)
+
+        def shift_window(spec):
+            start = max(0.0, spec.start - offset)
+            end = spec.end if spec.end == math.inf else spec.end - offset
+            if end <= 0.0 and not (spec.start == spec.end == 0.0):
+                return None  # window entirely in the past
+            return start, max(end, start)
+
+        link_faults = []
+        for f in self.link_faults:
+            win = shift_window(f)
+            if win is not None:
+                link_faults.append(
+                    LinkFault(link_class=f.link_class, alpha_factor=f.alpha_factor,
+                              beta_factor=f.beta_factor, start=win[0], end=win[1]))
+        losses = []
+        for l in self.losses:
+            win = shift_window(l)
+            if win is not None:
+                losses.append(
+                    MessageLoss(probability=l.probability, link_class=l.link_class,
+                                start=win[0], end=win[1]))
+        stragglers = tuple(
+            Straggler(rank=remap[s.rank], compute_factor=s.compute_factor)
+            for s in self.stragglers
+            if s.rank in alive and s.compute_factor != 1.0
+        )
+        crashes = tuple(
+            RankCrash(rank=remap[c.rank], time=max(0.0, c.time - offset))
+            for c in self.crashes
+            if c.rank in alive
+        )
+        return FaultPlan(
+            link_faults=tuple(link_faults),
+            stragglers=stragglers,
+            losses=tuple(losses),
+            retry=self.retry,
+            seed=self.seed,
+            crashes=crashes,
+            detector=self.detector,
+        )
 
     # ------------------------------------------------------------- (de)serde
     def to_dict(self) -> dict:
         """Canonical JSON-safe form (used by :mod:`repro.exec` spec digests).
 
         ``math.inf`` windows serialize as the string ``"inf"`` so the output
-        round-trips through strict JSON encoders.
+        round-trips through strict JSON encoders.  ``crashes`` and
+        ``detector`` are emitted only when they differ from their defaults,
+        so digests computed before fail-stop faults existed (and the cached
+        results they address) remain valid.
         """
         def window(x: float) -> float | str:
             return "inf" if x == math.inf else x
 
-        return {
+        out = {
             "link_faults": [
                 {
                     "link_class": f.link_class.name if f.link_class else None,
@@ -272,6 +403,18 @@ class FaultPlan:
             },
             "seed": self.seed,
         }
+        if self.crashes:
+            out["crashes"] = [
+                {"rank": c.rank, "time": c.time} for c in self.crashes
+            ]
+        if self.detector != FailureDetector():
+            out["detector"] = (
+                None if self.detector is None else {
+                    "heartbeat_interval": self.detector.heartbeat_interval,
+                    "suspicion_timeout": self.detector.suspicion_timeout,
+                }
+            )
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
@@ -307,6 +450,16 @@ class FaultPlan:
             ),
             retry=RetryPolicy(**data["retry"]) if "retry" in data else RetryPolicy(),
             seed=data.get("seed", 0),
+            crashes=tuple(
+                RankCrash(**c) for c in data.get("crashes", ())
+            ),
+            detector=(
+                FailureDetector()
+                if "detector" not in data
+                else None
+                if data["detector"] is None
+                else FailureDetector(**data["detector"])
+            ),
         )
 
 
@@ -322,9 +475,13 @@ class FaultInjector:
         "plan",
         "rng",
         "retry",
+        "detector",
+        "crash_times",
         "drops",
         "retransmissions",
         "messages_lost",
+        "rank_crashes",
+        "crash_dropped",
         "_link_faults",
         "_losses",
         "_compute_factor",
@@ -335,10 +492,15 @@ class FaultInjector:
         self.plan = plan
         self.rng = resolve_rng(plan.seed)
         self.retry = plan.retry
+        self.detector = plan.detector
+        #: rank -> fail-stop instant, consulted by the engine at every resume
+        self.crash_times = {c.rank: c.time for c in plan.crashes}
         # Counters (read by AllgatherRun.fault_stats and the benches).
         self.drops = 0             #: dropped transmission attempts
         self.retransmissions = 0   #: extra attempts beyond the first
         self.messages_lost = 0     #: messages whose retry budget ran out
+        self.rank_crashes = 0      #: ranks actually killed (crash time reached)
+        self.crash_dropped = 0     #: in-flight sends dropped by a sender crash
         # Pre-filter no-op specs so the strict-no-op guarantee costs nothing
         # per message and a zero-probability loss spec never touches the RNG.
         self._link_faults = tuple(f for f in plan.link_faults if not f.is_noop)
@@ -406,15 +568,31 @@ class FaultInjector:
 
     def stats(self) -> dict[str, int]:
         """Counter snapshot for run reports."""
-        return {
+        out = {
             "drops": self.drops,
             "retransmissions": self.retransmissions,
             "messages_lost": self.messages_lost,
         }
+        # Crash counters appear only under crash plans so fault_stats of
+        # pre-existing (crash-free) runs — and their golden pins — are
+        # byte-identical to before fail-stop faults existed.
+        if self.crash_times:
+            out["rank_crashes"] = self.rank_crashes
+            out["crash_dropped"] = self.crash_dropped
+        return out
 
 
 #: Profile names offered by the CLI and the resilience bench, in report order.
-PROFILE_NAMES = ("clean", "jitter", "straggler", "lossy", "setup_loss")
+PROFILE_NAMES = (
+    "clean", "jitter", "straggler", "lossy", "setup_loss",
+    "crash", "crash_recover",
+)
+
+#: Recovery policy the bench/CLI pair with each crash profile: ``crash``
+#: exercises the setup-free degrade path, ``crash_recover`` the full
+#: communicator-shrink replan.  Non-crash profiles are absent (callers fall
+#: back to the ``"abort"`` default).
+CRASH_PROFILE_MODES = {"crash": "degrade", "crash_recover": "shrink"}
 
 
 def resilience_profiles(n_ranks: int, seed: int = 0) -> dict[str, FaultPlan | None]:
@@ -427,6 +605,14 @@ def resilience_profiles(n_ranks: int, seed: int = 0) -> dict[str, FaultPlan | No
     if n_ranks <= 0:
         raise ValueError(f"n_ranks must be > 0, got {n_ranks}")
     straggler_ranks = sorted({n_ranks // 3, (2 * n_ranks) // 3})
+    # Crash ranks/times are deterministic in n_ranks alone; the times are
+    # chosen inside the makespan of the bench's small cells so the crashes
+    # actually fire (a crash past the natural finish is a no-op).
+    crash_ranks = sorted({n_ranks // 4, (3 * n_ranks) // 4})
+    crash_specs = tuple(
+        RankCrash(rank=r, time=4e-6 * (i + 1))
+        for i, r in enumerate(crash_ranks)
+    )
     return {
         # Degraded fabric: all classes mildly slower, the global links
         # heavily so for the first 500us (a transient congestion burst).
@@ -469,6 +655,13 @@ def resilience_profiles(n_ranks: int, seed: int = 0) -> dict[str, FaultPlan | No
             retry=RetryPolicy(timeout=50e-6, backoff=2.0, max_retries=1),
             seed=seed,
         ),
+        # Fail-stop: two ranks die mid-collective (one early, one later).
+        # The two profiles share the same crash plan; they differ only in
+        # the recovery policy paired with them (CRASH_PROFILE_MODES):
+        # ``crash`` measures the degrade-to-naive path, ``crash_recover``
+        # the communicator-shrink replan.
+        "crash": FaultPlan(crashes=crash_specs, seed=seed),
+        "crash_recover": FaultPlan(crashes=crash_specs, seed=seed),
     }
 
 

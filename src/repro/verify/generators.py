@@ -27,6 +27,7 @@ from repro.sim.faults import (
     FaultPlan,
     LinkFault,
     MessageLoss,
+    RankCrash,
     RetryPolicy,
     Straggler,
 )
@@ -35,8 +36,10 @@ from repro.sim.faults import (
 SCENARIO_FORMAT = 1
 
 #: Fuzz profiles: ``clean`` draws no fault plans (and enables the full
-#: metamorphic battery); ``faulty`` perturbs every scenario.
-PROFILES = ("clean", "faulty")
+#: metamorphic battery); ``faulty`` perturbs every scenario; ``crash``
+#: draws fail-stop rank crashes with a random shrink/degrade recovery
+#: mode (and enables the crash-recovery oracles).
+PROFILES = ("clean", "faulty", "crash")
 
 #: Scalar message sizes the generator draws from (bytes).  Includes the
 #: degenerate 0- and 1-byte blocks and spans the latency- and
@@ -173,14 +176,21 @@ def generate_scenario(
 
     fault_plan = None
     fallback = None
+    on_failure = "abort"
     if config.profile == "faulty":
         fault_plan = _draw_fault_plan(rng, machine.n_ranks)
         fallback = "naive"
+    elif config.profile == "crash":
+        fault_plan = _draw_crash_plan(rng, machine.n_ranks)
+        fallback = "naive"
+        if fault_plan is not None:
+            on_failure = str(rng.choice(["shrink", "degrade"]))
     options = RunOptions(
         trace=True,
         fault_plan=fault_plan,
         fallback=fallback,
         max_events=config.max_events,
+        on_failure=on_failure,
     )
     return Scenario(
         topology=topology,
@@ -241,6 +251,36 @@ def _draw_msg_size(
             int(rng.choice([0, 1, 64, 512, 4096])) for _ in range(n)
         )
     return int(rng.choice(MSG_SIZES))
+
+
+def _draw_crash_plan(rng: np.random.Generator, n: int) -> FaultPlan | None:
+    """Fail-stop plan: 1-2 victims, times spanning the typical makespan.
+
+    Always leaves at least one survivor, so every drawn plan is
+    recoverable; crash times past the makespan are legal (a late crash is
+    a no-op and the run must look exactly like a clean one).  The default
+    :class:`~repro.sim.faults.FailureDetector` rides along, so a starving
+    round surfaces as structured detection, never a watchdog trip.
+    """
+    if n < 2:
+        return None  # a lone rank has no survivable crash
+    n_crashes = int(rng.integers(1, min(2, n - 1) + 1))
+    ranks = rng.choice(n, size=n_crashes, replace=False)
+    # Crash times are drawn at mixed scales: generated makespans range
+    # from sub-microsecond (tiny messages, few ranks) to tens of
+    # microseconds, and only a crash *inside* the makespan exercises
+    # recovery — a uniform draw over the widest scale would make nearly
+    # every crash a no-op.
+    crashes = tuple(
+        RankCrash(
+            rank=int(r),
+            time=float(rng.uniform(0.0, float(rng.choice(
+                [5e-7, 2e-6, 8e-6, 40e-6]
+            )))),
+        )
+        for r in sorted(int(r) for r in ranks)
+    )
+    return FaultPlan(crashes=crashes, seed=int(rng.integers(0, 2**31 - 1)))
 
 
 def _draw_fault_plan(rng: np.random.Generator, n: int) -> FaultPlan:

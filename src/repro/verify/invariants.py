@@ -21,8 +21,21 @@ The catalog (see ``docs/ARCHITECTURE.md`` §6 for the full rationale):
     Bookkeeping laws between engine counters, per-link-class trace
     aggregates, and fault-injector statistics: bytes sent == bytes
     delivered per class under no loss, attempts == messages + observed
-    retransmissions, lost messages appear only under a lossy plan, and
-    drops == retransmissions + permanently lost messages.
+    retransmissions, lost messages appear only under a lossy *or crash*
+    plan (an in-flight send to or from a dead rank is dropped and counted
+    lost), and trace-level losses == injector losses + crash drops.
+``survivor_completeness``
+    Crash plans: a run's ``missing_ranks`` may only name planned crash
+    victims, and every survivor holds every survivor's block — checked by
+    ``payload_equivalence`` verifying with
+    ``allow_missing=run.missing_ranks`` (crashed blocks are optional,
+    everything else is mandatory).
+``crash_agreement``
+    Crash plans: re-running with the *other* recovery mode (shrink vs
+    degrade) must reach the same steady state — same planned-victim
+    bound on ``missing_ranks``, and identical survivor buffers once
+    crashed sources are masked out.  The two recovery state machines are
+    mutual oracles, exactly like the DES/hybrid pair.
 ``size_monotonicity``
     Clean scenarios only: halving the message size must not increase
     ``simulated_time`` (the α–β cost model is monotone in bytes).
@@ -71,6 +84,8 @@ INVARIANTS = (
     "payload_equivalence",
     "cross_algorithm",
     "trace_conservation",
+    "survivor_completeness",
+    "crash_agreement",
     "size_monotonicity",
     "relabel_conservation",
     "payload_independence",
@@ -132,7 +147,7 @@ def check_payload_equivalence(
     violations = []
     for name, run in runs.items():
         try:
-            verify_allgather(topology, run)
+            verify_allgather(topology, run, allow_missing=run.missing_ranks)
         except VerificationError as exc:
             violations.append(
                 Violation("payload_equivalence", name, str(exc), exc.as_dict())
@@ -147,6 +162,12 @@ def check_cross_algorithm(runs: dict[str, "AllgatherRun"]) -> list[Violation]:
     names = sorted(runs)
     ref_name = names[0]
     ref = runs[ref_name].results
+    # Crashed sources deliver best-effort (in-flight drops differ per
+    # schedule), so mask the union of every run's missing ranks: what is
+    # left is the part of the post-condition all algorithms must agree on.
+    ignore: set[int] = set()
+    for run in runs.values():
+        ignore.update(run.missing_ranks)
     violations = []
     for name in names[1:]:
         other = runs[name].results
@@ -158,6 +179,10 @@ def check_cross_algorithm(runs: dict[str, "AllgatherRun"]) -> list[Violation]:
             ))
             continue
         for rank, (a, b) in enumerate(zip(ref, other)):
+            if rank in ignore:
+                continue  # a crashed rank's own buffer is partial by design
+            a = {src: p for src, p in a.items() if src not in ignore}
+            b = {src: p for src, p in b.items() if src not in ignore}
             if a != b:
                 only_a = sorted(set(a) - set(b))
                 only_b = sorted(set(b) - set(a))
@@ -185,6 +210,7 @@ def check_trace_conservation(
     """
     plan = scenario.options.fault_plan
     lossy = plan is not None and any(not l.is_noop for l in plan.losses)
+    crashy = plan is not None and bool(plan.crashes)
     violations: list[Violation] = []
 
     def bad(name: str, detail: str, **data: Any) -> None:
@@ -220,9 +246,11 @@ def check_trace_conservation(
                 bad(name, f"{cls}: no losses but delivered_bytes "
                           f"{c['delivered_bytes']} != bytes {c['bytes']}")
             if not lossy:
-                if c["lost_messages"]:
+                if c["lost_messages"] and not crashy:
                     bad(name, f"{cls}: {c['lost_messages']} lost messages "
                               "under a plan with no loss spec")
+                # Crash drops are *not* retried (the peer is dead), so
+                # attempts == messages survives pure-crash plans.
                 if c["attempts"] != c["messages"]:
                     bad(name, f"{cls}: {c['attempts']} attempts for "
                               f"{c['messages']} messages under no loss spec")
@@ -233,9 +261,11 @@ def check_trace_conservation(
                 bad(name, f"trace attempts - messages = {attempts - messages} "
                           f"but injector counted {stats['retransmissions']} "
                           "retransmissions")
-            if lost != stats["messages_lost"]:
+            expected_lost = stats["messages_lost"] + stats.get("crash_dropped", 0)
+            if lost != expected_lost:
                 bad(name, f"trace counted {lost} lost messages, injector "
-                          f"counted {stats['messages_lost']}")
+                          f"counted {stats['messages_lost']} lost + "
+                          f"{stats.get('crash_dropped', 0)} crash-dropped")
             if stats["drops"] != stats["retransmissions"] + stats["messages_lost"]:
                 bad(name, "injector drops != retransmissions + messages_lost "
                           f"({stats})")
@@ -247,10 +277,109 @@ def check_trace_conservation(
         # payload_equivalence (a loss would surface as a missing block).
         if run.trace is not None:
             for rec in run.trace.records:
-                if rec.arrival == math.inf and not lossy:
+                if rec.arrival == math.inf and not (lossy or crashy):
                     bad(name, f"message {rec.src}->{rec.dst} arrived at inf "
-                              "under a plan with no loss spec")
+                              "under a plan with no loss or crash spec")
                     break
+    return violations
+
+
+def check_survivor_completeness(
+    scenario: "Scenario", runs: dict[str, "AllgatherRun"]
+) -> list[Violation]:
+    """Crash plans: only planned victims may go missing, recovery is sane.
+
+    The positive half — every survivor holds every survivor's block — is
+    enforced by ``payload_equivalence`` verifying with
+    ``allow_missing=run.missing_ranks``; here we pin the *bound* on that
+    relaxation: ``missing_ranks`` must be a subset of the planned crash
+    victims, and a recovery record, when present, must match the options
+    that produced it.
+    """
+    plan = scenario.options.fault_plan
+    planned = {c.rank for c in plan.crashes} if plan is not None else set()
+    violations = []
+    for name, run in runs.items():
+        extra = set(run.missing_ranks) - planned
+        if extra:
+            violations.append(Violation(
+                "survivor_completeness", name,
+                f"missing_ranks {sorted(run.missing_ranks)} includes ranks "
+                f"never planned to crash: {sorted(extra)}",
+                {"missing": sorted(run.missing_ranks),
+                 "planned": sorted(planned)},
+            ))
+        recovery = run.recovery
+        if recovery is not None:
+            if recovery.get("mode") != scenario.options.on_failure:
+                violations.append(Violation(
+                    "survivor_completeness", name,
+                    f"recovery mode {recovery.get('mode')!r} != requested "
+                    f"on_failure {scenario.options.on_failure!r}",
+                ))
+            if not run.missing_ranks:
+                violations.append(Violation(
+                    "survivor_completeness", name,
+                    "recovery record present but missing_ranks is empty",
+                ))
+    return violations
+
+
+def check_crash_agreement(
+    scenario: "Scenario", runs: dict[str, "AllgatherRun"]
+) -> list[Violation]:
+    """Shrink and degrade recoveries are mutual oracles (crash plans).
+
+    Re-runs every algorithm with the *other* ``on_failure`` mode.  Round 0
+    is identical by determinism, so both modes see the same first
+    detection; after that the recovery paths diverge, but both must end
+    with survivor buffers that agree once crashed sources (whose in-flight
+    blocks are best-effort) are masked out.
+    """
+    import dataclasses
+
+    mode = scenario.options.on_failure
+    if mode not in ("shrink", "degrade"):
+        return []
+    flipped = "degrade" if mode == "shrink" else "shrink"
+    options = dataclasses.replace(
+        scenario.options, on_failure=flipped, trace=False
+    )
+    plan = scenario.options.fault_plan
+    planned = {c.rank for c in plan.crashes} if plan is not None else set()
+    violations: list[Violation] = []
+    for name, run in runs.items():
+        try:
+            other = scenario.with_(options=options).spec_for(name).run()
+        except Exception as exc:  # noqa: BLE001 - a crash here is a finding
+            violations.append(Violation(
+                "crash_agreement", name,
+                f"{flipped} recovery failed where {mode} succeeded: "
+                f"{type(exc).__name__}: {exc}",
+            ))
+            continue
+        if set(other.missing_ranks) - planned:
+            violations.append(Violation(
+                "crash_agreement", name,
+                f"{flipped} recovery lost unplanned ranks "
+                f"{sorted(set(other.missing_ranks) - planned)}",
+            ))
+            continue
+        ignore = set(run.missing_ranks) | set(other.missing_ranks)
+        for rank in range(len(run.results)):
+            if rank in ignore:
+                continue
+            a = {s: p for s, p in run.results[rank].items() if s not in ignore}
+            b = {s: p for s, p in other.results[rank].items() if s not in ignore}
+            if a != b:
+                violations.append(Violation(
+                    "crash_agreement", name,
+                    f"rank {rank} survivor buffer differs between {mode} "
+                    f"and {flipped}: only-{mode}={sorted(set(a) - set(b))} "
+                    f"only-{flipped}={sorted(set(b) - set(a))}",
+                    {"rank": rank, "mode": mode, "flipped": flipped},
+                ))
+                break
     return violations
 
 
@@ -672,13 +801,19 @@ def run_invariants(
     simulations (used by the shrinker, where each candidate is re-executed
     many times and the failure signature is already known).
     """
-    clean = scenario.options.fault_plan is None
+    plan = scenario.options.fault_plan
+    clean = plan is None
+    crashy = plan is not None and bool(plan.crashes)
     violations: list[Violation] = []
     violations += check_payload_equivalence(topology, runs)
     violations += check_cross_algorithm(runs)
     violations += check_trace_conservation(scenario, runs)
+    if crashy:
+        violations += check_survivor_completeness(scenario, runs)
     if "distance_halving" in runs and not runs["distance_halving"].fallback_used:
         violations += check_dh_structure(scenario, topology)
+    if metamorphic and crashy:
+        violations += check_crash_agreement(scenario, runs)
     if metamorphic and clean:
         violations += check_size_monotonicity(scenario, runs)
         violations += check_relabel_conservation(scenario, topology, runs)

@@ -12,9 +12,11 @@ import itertools
 from repro.collectives.runner import RunOptions
 from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
 from repro.sim.faults import (
+    FailureDetector,
     FaultPlan,
     LinkFault,
     MessageLoss,
+    RankCrash,
     RetryPolicy,
     Straggler,
 )
@@ -48,6 +50,8 @@ OPTION_VARIANTS = {
     "verify": RunOptions(verify=True),
     "sim_mode_auto": RunOptions(sim_mode="auto"),
     "sim_mode_analytic": RunOptions(sim_mode="analytic"),
+    "on_failure_shrink": RunOptions(on_failure="shrink"),
+    "on_failure_degrade": RunOptions(on_failure="degrade"),
 }
 
 #: FaultPlan variants: each embeds a plan differing in exactly one field
@@ -79,6 +83,16 @@ FAULT_VARIANTS = {
     "retry_timeout": FaultPlan(retry=RetryPolicy(timeout=50e-6)),
     "retry_backoff": FaultPlan(retry=RetryPolicy(backoff=3.0)),
     "retry_max": FaultPlan(retry=RetryPolicy(max_retries=2)),
+    "crash": FaultPlan(crashes=(RankCrash(rank=1),)),
+    "crash_rank": FaultPlan(crashes=(RankCrash(rank=2),)),
+    "crash_time": FaultPlan(crashes=(RankCrash(rank=1, time=1e-5),)),
+    "detector_heartbeat": FaultPlan(
+        detector=FailureDetector(heartbeat_interval=50e-6)
+    ),
+    "detector_suspicion": FaultPlan(
+        detector=FailureDetector(suspicion_timeout=1e-3)
+    ),
+    "detector_none": FaultPlan(detector=None),
 }
 
 
@@ -96,6 +110,7 @@ class TestOptionFieldsReachDigest:
         covered = {
             "trace", "noise_seed", "fault_plan", "fallback",
             "max_sim_time", "max_events", "verify", "sim_mode",
+            "on_failure",
         }
         assert fields == covered, (
             f"RunOptions fields changed ({sorted(fields ^ covered)}); "
@@ -134,3 +149,34 @@ class TestDigestStability:
         for mode in ("des", "auto", "analytic"):
             opts = RunOptions(sim_mode=mode)
             assert RunOptions.from_dict(opts.canonical()).sim_mode == mode
+
+    def test_default_canonical_omits_crash_fields(self):
+        """Digest-stability pin for the fail-stop additions: defaults for
+        on_failure ("abort"), crashes (empty), and detector (the default
+        FailureDetector) must not appear in canonical forms, so digests —
+        and the cached results they address — from before these fields
+        existed remain valid."""
+        assert "on_failure" not in RunOptions().canonical()
+        plan_dict = FaultPlan().to_dict()
+        assert "crashes" not in plan_dict
+        assert "detector" not in plan_dict
+        assert "on_failure" not in _spec(RunOptions()).to_json()
+
+    def test_non_default_crash_fields_are_emitted(self):
+        assert RunOptions(on_failure="shrink").canonical()["on_failure"] == "shrink"
+        crashy = FaultPlan(crashes=(RankCrash(rank=1, time=1e-5),)).to_dict()
+        assert crashy["crashes"] == [{"rank": 1, "time": 1e-5}]
+        assert FaultPlan(detector=None).to_dict()["detector"] is None
+        tuned = FaultPlan(detector=FailureDetector(heartbeat_interval=50e-6))
+        assert tuned.to_dict()["detector"]["heartbeat_interval"] == 50e-6
+
+    def test_crash_fields_round_trip(self):
+        for mode in ("abort", "shrink", "degrade"):
+            opts = RunOptions(on_failure=mode)
+            assert RunOptions.from_dict(opts.canonical()).on_failure == mode
+        plan = FaultPlan(
+            crashes=(RankCrash(rank=3, time=2e-6),),
+            detector=FailureDetector(suspicion_timeout=1e-3),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert FaultPlan.from_dict(FaultPlan(detector=None).to_dict()).detector is None

@@ -1,0 +1,59 @@
+"""The chaos harness itself: one full battery must pass, and a failing
+check must fail loudly with artifacts kept."""
+
+import pytest
+
+from repro.exec.chaos import ChaosError, ChaosReport, run_chaos
+
+
+class TestChaosHarness:
+    def test_full_battery_passes(self, tmp_path):
+        report = run_chaos(
+            iterations=1, workers=2, kill_workers=True, seed=3,
+            root=tmp_path / "chaos",
+        )
+        assert report.ok
+        assert report.failed == []
+        # Every phase ran: kills, resume, truncation, corruption, poison.
+        names = {c["name"] for c in report.checks}
+        assert {
+            "kill/all-specs-complete",
+            "kill/victim-retried",
+            "resume/zero-recompute",
+            "resume/bit-identical",
+            "truncate/zero-recompute",
+            "corrupt/recompute-exactly-one",
+            "corrupt/recompute-deterministic",
+            "poison/quarantined",
+            "poison/manifest-attempts",
+        } <= names
+        assert "PASS" in report.summary()
+
+    def test_without_kills_still_covers_resume_paths(self, tmp_path):
+        report = run_chaos(
+            iterations=1, workers=1, kill_workers=False, seed=5,
+            root=tmp_path / "chaos",
+        )
+        assert report.ok
+        names = {c["name"] for c in report.checks}
+        assert "resume/zero-recompute" in names
+        assert "kill/victim-retried" not in names
+        assert "poison/quarantined" not in names
+
+    def test_progress_callback_narrates_phases(self, tmp_path):
+        lines = []
+        run_chaos(
+            iterations=1, workers=1, kill_workers=False, seed=5,
+            root=tmp_path / "chaos", progress=lines.append,
+        )
+        assert any("phase A" in line for line in lines)
+        assert any("phase D" in line for line in lines)
+
+    def test_report_flags_failures(self):
+        report = ChaosReport(iterations=1, kill_workers=False)
+        report.checks.append(
+            {"iteration": 0, "name": "demo", "ok": False, "detail": "boom"}
+        )
+        assert not report.ok
+        assert report.failed[0]["name"] == "demo"
+        assert "FAIL" in report.summary()

@@ -1,0 +1,86 @@
+"""Worker-crash retry: a dying worker must not kill or corrupt the sweep.
+
+Real process deaths are injected through the orchestrator's chaos marker
+protocol (``$REPRO_CHAOS_DIR``): a ``kill-<digest>`` marker makes the
+worker executing that spec ``os._exit(137)`` once, a ``poison-<digest>``
+marker kills every attempt.  The contract under test: killed specs are
+retried on a fresh pool and complete with ``attempts >= 2``, poison specs
+are quarantined as ``WorkerCrashed`` error outcomes after ``MAX_ATTEMPTS``,
+bystander specs always survive, and the manifest records the attempt
+count.
+"""
+
+import json
+
+import pytest
+
+from repro.exec.orchestrator import CHAOS_ENV, MAX_ATTEMPTS, execute
+from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
+
+
+def sweep_specs():
+    topology = TopologySpec("random", 8, density=0.4, seed=11)
+    machine = MachineSpec.for_ranks(8, ranks_per_socket=4)
+    return [
+        RunSpec("naive", topology, machine, size)
+        for size in (128, 512, 2048)
+    ]
+
+
+def read_manifest(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestWorkerRetry:
+    def test_killed_worker_retried_to_completion(self, tmp_path, monkeypatch):
+        specs = sweep_specs()
+        victim = 1
+        monkeypatch.setenv(CHAOS_ENV, str(tmp_path))
+        (tmp_path / f"kill-{specs[victim].digest()[:12]}").write_text("")
+        manifest = tmp_path / "manifest.jsonl"
+
+        sweep = execute(specs, workers=2, manifest_path=manifest)
+        sweep.raise_errors()
+        assert 2 <= sweep.outcomes[victim].attempts <= MAX_ATTEMPTS
+        assert sweep.stats["retried"] >= 1
+        # The kill marker was atomically claimed: exactly one death.
+        assert (tmp_path / f"killed-{specs[victim].digest()[:12]}").exists()
+        entries = {e["digest"]: e for e in read_manifest(manifest)}
+        entry = entries[specs[victim].digest()]
+        assert entry["status"] == "ok"
+        assert entry["attempts"] == sweep.outcomes[victim].attempts
+
+    def test_poison_spec_quarantined_not_hung(self, tmp_path, monkeypatch):
+        specs = sweep_specs()
+        monkeypatch.setenv(CHAOS_ENV, str(tmp_path))
+        (tmp_path / f"poison-{specs[0].digest()[:12]}").write_text("")
+        manifest = tmp_path / "manifest.jsonl"
+
+        sweep = execute(specs, workers=2, manifest_path=manifest)
+        bad = sweep.outcomes[0]
+        assert not bad.ok
+        assert bad.error.startswith("WorkerCrashed")
+        assert bad.attempts == MAX_ATTEMPTS
+        # Bystanders complete; the sweep never crashes wholesale.
+        assert all(o.ok for o in sweep.outcomes[1:])
+        entries = {e["digest"]: e for e in read_manifest(manifest)}
+        entry = entries[specs[0].digest()]
+        assert entry["status"] == "error"
+        assert entry["attempts"] == MAX_ATTEMPTS
+
+    def test_serial_execution_ignores_markers(self, tmp_path, monkeypatch):
+        # The marker protocol only fires inside pool workers: a serial
+        # (in-process) run must never os._exit the caller.
+        specs = sweep_specs()
+        monkeypatch.setenv(CHAOS_ENV, str(tmp_path))
+        for spec in specs:
+            (tmp_path / f"kill-{spec.digest()[:12]}").write_text("")
+        sweep = execute(specs, workers=1)
+        sweep.raise_errors()
+        assert all(o.attempts == 1 for o in sweep.outcomes)
+
+    def test_attempts_default_to_one(self):
+        sweep = execute(sweep_specs(), workers=2)
+        sweep.raise_errors()
+        assert all(o.attempts == 1 for o in sweep.outcomes)
+        assert sweep.stats["retried"] == 0

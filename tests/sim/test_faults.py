@@ -6,8 +6,14 @@ import pytest
 
 from repro.cluster import Machine
 from repro.collectives.runner import RunOptions, run_allgather, verify_allgather
-from repro.sim.engine import DeadlockError, Engine, SimTimeoutError
+from repro.sim.engine import (
+    DeadlockError,
+    Engine,
+    RetriesExhaustedError,
+    SimTimeoutError,
+)
 from repro.sim.faults import (
+    CRASH_PROFILE_MODES,
     FaultInjector,
     FaultPlan,
     LinkFault,
@@ -172,14 +178,17 @@ class TestRetryAndLoss:
         # Retransmission + backoff must cost simulated time.
         assert run.simulated_time > clean.simulated_time
 
-    def test_exhausted_retries_lose_message_and_deadlock(self):
+    def test_exhausted_retries_raise_structured_error(self):
+        # Used to surface much later as an anonymous DeadlockError once the
+        # starved receiver drained the heap; now the failure is reported at
+        # its source with the transfer named.
         machine = small_machine()
         topology = small_topology()
         plan = FaultPlan(
             losses=(MessageLoss(probability=1.0),),
             retry=RetryPolicy(timeout=1e-5, max_retries=2),
         )
-        with pytest.raises(DeadlockError, match="blocked processes"):
+        with pytest.raises(RetriesExhaustedError, match="transmission attempts"):
             run_allgather("naive", topology, machine, 256,
                           options=RunOptions(fault_plan=plan))
 
@@ -193,10 +202,14 @@ class TestRetryAndLoss:
                 retry=RetryPolicy(timeout=1e-5, max_retries=1),
             ),
         )
-        req = engine.post_send(0, 1, 64, tag=0, payload=None)
-        assert req.lost
-        assert req.attempts == 2  # first try + one retransmission
-        assert req.completion_time is not None  # sender gave up, port freed
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            engine.post_send(0, 1, 64, tag=0, payload=None)
+        err = excinfo.value
+        assert err.rank == 0
+        assert err.peer == 1
+        assert err.attempts == 2  # first try + one retransmission
+        assert err.last_timeout > 0
+        # The loss is still fully accounted before the raise.
         assert engine.messages_lost == 1
         assert engine.faults.messages_lost == 1
 
@@ -342,10 +355,24 @@ class TestFallback:
 class TestProfiles:
     def test_all_profiles_present_and_typed(self):
         profiles = resilience_profiles(64)
-        assert set(profiles) == {"jitter", "straggler", "lossy", "setup_loss"}
+        assert set(profiles) == {
+            "jitter", "straggler", "lossy", "setup_loss",
+            "crash", "crash_recover",
+        }
         for plan in profiles.values():
             assert isinstance(plan, FaultPlan)
             assert not plan.is_noop()
+
+    def test_crash_profiles_have_paired_recovery_modes(self):
+        profiles = resilience_profiles(16)
+        assert set(CRASH_PROFILE_MODES) == {"crash", "crash_recover"}
+        assert CRASH_PROFILE_MODES["crash"] == "degrade"
+        assert CRASH_PROFILE_MODES["crash_recover"] == "shrink"
+        for name in CRASH_PROFILE_MODES:
+            plan = profiles[name]
+            assert plan.crashes, name
+            assert plan.detector is not None, name
+            assert all(0 <= c.rank < 16 for c in plan.crashes)
 
     def test_straggler_ranks_within_communicator(self):
         for n in (3, 8, 64, 257):
@@ -363,8 +390,13 @@ class TestProfiles:
         machine = small_machine()
         topology = small_topology()
         for name, plan in resilience_profiles(topology.n, seed=5).items():
+            # Crash profiles need their paired ULFM recovery mode; survivors
+            # are verified against the relaxed post-condition.
+            options = RunOptions(
+                fault_plan=plan, fallback="naive",
+                on_failure=CRASH_PROFILE_MODES.get(name, "abort"),
+            )
             run = run_allgather("distance_halving", topology, machine, 512,
-                                options=RunOptions(fault_plan=plan,
-                                                   fallback="naive"))
-            verify_allgather(topology, run)
+                                options=options)
+            verify_allgather(topology, run, allow_missing=run.missing_ranks)
             assert math.isfinite(run.simulated_time), name

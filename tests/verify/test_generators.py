@@ -46,6 +46,30 @@ class TestBounds:
             assert s.options.fault_plan is not None
             assert s.options.fallback == "naive"
 
+    def test_crash_profile_draws_survivable_plans(self):
+        config = ScenarioConfig(profile="crash")
+        fired = 0
+        for i in range(80):
+            s = generate_scenario(2, i, config)
+            plan = s.options.fault_plan
+            if plan is None:
+                # A lone rank has no survivable crash: no plan is drawn.
+                assert s.n_ranks == 1
+                assert s.options.on_failure == "abort"
+                continue
+            fired += 1
+            victims = {c.rank for c in plan.crashes}
+            assert 1 <= len(victims) <= 2
+            assert len(victims) < s.n_ranks  # always >= 1 survivor
+            assert all(0 <= c.rank < s.n_ranks for c in plan.crashes)
+            assert all(c.time >= 0.0 for c in plan.crashes)
+            # Structured detection rides along: a starving round surfaces
+            # as RankFailedError, never a watchdog trip.
+            assert plan.detector is not None
+            assert s.options.on_failure in ("shrink", "degrade")
+            assert s.options.fallback == "naive"
+        assert fired > 40
+
     def test_faulty_stragglers_reference_real_ranks(self):
         config = ScenarioConfig(profile="faulty")
         for i in range(80):
