@@ -16,7 +16,12 @@ from repro.bench.config import BenchScale, SweepConfig, bench_machine, get_scale
 from repro.bench.reporting import format_table, geometric_mean, save_results
 from repro.bench.sweep import DEFAULT_CN_KS, sweep_latency
 from repro.cluster.calibration import calibrate
-from repro.collectives.base import get_algorithm
+from repro.collectives.base import (
+    SETUP_FREE_FALLBACK,
+    algorithm_info,
+    get_algorithm,
+    list_algorithms,
+)
 from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
 from repro.model.comparison import FIG2_DENSITIES, model_grid
 from repro.model.equations import ModelParams, dh_total_time, naive_total_time
@@ -66,12 +71,77 @@ def _run_grid(
     return dict(zip((key for key, _ in keyed_specs), sweep.runs))
 
 
-def _best_cn(runs: dict, base_key: tuple, ks=DEFAULT_CN_KS):
-    """Best-K Common Neighbor cell: ``(run, best_k)`` (first minimum wins,
-    matching the paper's "we report the best results" sweep order)."""
-    candidates = [runs[(*base_key, f"cn{k}")] for k in ks]
+def bench_variants() -> list[tuple[str, dict, str]]:
+    """``(algorithm, kwargs, label)`` per bench-enrolled variant.
+
+    Registry-derived: tuning grids are expanded into one variant per value
+    (``cn`` -> ``cn2``/``cn4``/``cn8``), so a newly registered bench
+    algorithm joins every figure grid automatically.
+    """
+    variants: list[tuple[str, dict, str]] = []
+    for info in list_algorithms(requires={"bench"}):
+        if info.tuning:
+            for param, values in info.tuning:
+                for value in values:
+                    variants.append((info.name, {param: value}, f"{info.label}{value}"))
+        else:
+            variants.append((info.name, {}, info.label))
+    return variants
+
+
+def _baseline_label() -> str:
+    """Label of the speedup denominator (the setup-free fallback)."""
+    return algorithm_info(SETUP_FREE_FALLBACK).label
+
+
+def _best_tuned(runs: dict, base_key: tuple, info):
+    """Best cell of a tuned family: ``(run, best_value)`` (first minimum
+    wins, matching the paper's "we report the best results" sweep order)."""
+    param, values = info.tuning[0]
+    candidates = [runs[(*base_key, f"{info.label}{v}")] for v in values]
     winner = min(candidates, key=lambda run: run.simulated_time)
-    return winner, winner.setup_stats.extras.get("k")
+    return winner, winner.setup_stats.extras.get(param)
+
+
+def _speedup_columns(runs: dict, base_key: tuple) -> tuple[dict, dict]:
+    """Per-algorithm record columns for one grid cell.
+
+    ``{label}_time`` for every bench algorithm, ``{label}_speedup`` over
+    the baseline for every non-baseline one, and ``{label}_best_{param}``
+    for tuned families — all registry-derived, so records grow a column
+    set per registered backend (``naive_time``/``dh_speedup``/
+    ``cn_best_k``/...).  Returns ``(columns, {label: speedup})``.
+    """
+    base_label = _baseline_label()
+    base = runs[(*base_key, base_label)]
+    cols: dict[str, Any] = {f"{base_label}_time": base.simulated_time}
+    speedups: dict[str, float] = {}
+    for info in list_algorithms(requires={"bench"}):
+        if info.name == SETUP_FREE_FALLBACK:
+            continue
+        if info.tuning:
+            run, best_value = _best_tuned(runs, base_key, info)
+            cols[f"{info.label}_best_{info.tuning[0][0]}"] = best_value
+        else:
+            run = runs[(*base_key, info.label)]
+        cols[f"{info.label}_time"] = run.simulated_time
+        speedup = base.simulated_time / run.simulated_time
+        cols[f"{info.label}_speedup"] = speedup
+        speedups[info.label] = speedup
+    return cols, speedups
+
+
+def _speedup_headers() -> tuple[list[str], list[tuple[str, str]]]:
+    """Table headers for the generic speedup columns: ``(labels, extras)``
+    where ``labels`` orders the non-baseline speedup columns and ``extras``
+    pairs a header with its record key for the best-value columns of tuned
+    families (``("cn k", "cn_best_k")``)."""
+    labels = [info.label for info in list_algorithms(requires={"bench"})
+              if info.name != SETUP_FREE_FALLBACK]
+    extras = [(f"{info.label} {info.tuning[0][0]}",
+               f"{info.label}_best_{info.tuning[0][0]}")
+              for info in list_algorithms(requires={"bench"}) if info.tuning]
+    return labels, extras
 
 
 # ---------------------------------------------------------------------------
@@ -223,9 +293,7 @@ def fig5_speedup_scaling(
         rps_for[scale.moore_ranks] = 16
 
     options = cfg.run_options()
-    variants = [("naive", {}, "naive"), ("distance_halving", {}, "dh")] + [
-        ("common_neighbor", {"k": k}, f"cn{k}") for k in DEFAULT_CN_KS
-    ]
+    variants = bench_variants()
     keyed_specs = []
     for n_ranks in rank_counts:
         machine_spec = MachineSpec.for_ranks(n_ranks, rps_for[n_ranks])
@@ -240,45 +308,48 @@ def fig5_speedup_scaling(
                     )
     runs = _run_grid(cfg, keyed_specs, verbose)
 
+    labels, extra_headers = _speedup_headers()
     rows: list[tuple] = []
     records: list[dict[str, Any]] = []
     summary: list[tuple] = []
+    summary_records: list[dict[str, Any]] = []
     for n_ranks in rank_counts:
         for density in scale.densities:
             first_dh = runs[(n_ranks, density, sizes[0], "dh")]
             success_rate = first_dh.setup_stats.extras.get(
                 "agent_success_rate", float("nan")
             )
-            dh_speedups, cn_speedups = [], []
+            speedup_lists: dict[str, list[float]] = {lbl: [] for lbl in labels}
             for size in sizes:
-                nrun = runs[(n_ranks, density, size, "naive")]
-                drun = runs[(n_ranks, density, size, "dh")]
-                crun, best_k = _best_cn(runs, (n_ranks, density, size))
-                s_dh = nrun.simulated_time / drun.simulated_time
-                s_cn = nrun.simulated_time / crun.simulated_time
-                dh_speedups.append(s_dh)
-                cn_speedups.append(s_cn)
+                cols, speedups = _speedup_columns(runs, (n_ranks, density, size))
+                for lbl, s in speedups.items():
+                    speedup_lists[lbl].append(s)
+                msg_size = runs[(n_ranks, density, size, _baseline_label())].msg_size
                 rows.append(
-                    (n_ranks, density, format_size(nrun.msg_size), s_dh, s_cn,
-                     best_k)
+                    (n_ranks, density, format_size(msg_size),
+                     *(cols[f"{lbl}_speedup"] for lbl in labels),
+                     *(cols[key] for _, key in extra_headers))
                 )
                 records.append(
                     {
                         "ranks": n_ranks,
                         "density": density,
-                        "msg_size": nrun.msg_size,
-                        "naive_time": nrun.simulated_time,
-                        "dh_time": drun.simulated_time,
-                        "cn_time": crun.simulated_time,
-                        "dh_speedup": s_dh,
-                        "cn_speedup": s_cn,
-                        "cn_best_k": best_k,
+                        "msg_size": msg_size,
+                        **cols,
                         "agent_success_rate": success_rate,
                     }
                 )
+            avg = {lbl: geometric_mean(vals) for lbl, vals in speedup_lists.items()}
             summary.append(
-                (n_ranks, density, geometric_mean(dh_speedups),
-                 geometric_mean(cn_speedups), success_rate)
+                (n_ranks, density, *(avg[lbl] for lbl in labels), success_rate)
+            )
+            summary_records.append(
+                {
+                    "ranks": n_ranks,
+                    "density": density,
+                    **{f"{lbl}_avg_speedup": avg[lbl] for lbl in labels},
+                    "agent_success_rate": success_rate,
+                }
             )
     payload = {
         "experiment": "fig5_speedup_scaling",
@@ -286,20 +357,13 @@ def fig5_speedup_scaling(
         "rank_counts": rank_counts,
         "cn_ks": list(DEFAULT_CN_KS),
         "rows": records,
-        "summary": [
-            {
-                "ranks": r,
-                "density": d,
-                "dh_avg_speedup": sdh,
-                "cn_avg_speedup": scn,
-                "agent_success_rate": sr,
-            }
-            for r, d, sdh, scn, sr in summary
-        ],
+        "summary": summary_records,
     }
     out = _emit(
         f"Fig. 5 — speedups over naive (scales {rank_counts})",
-        ["ranks", "density", "msg", "DH speedup", "CN speedup", "CN K"],
+        ["ranks", "density", "msg"]
+        + [f"{lbl} speedup" for lbl in labels]
+        + [header for header, _ in extra_headers],
         rows,
         payload,
         verbose,
@@ -308,7 +372,8 @@ def fig5_speedup_scaling(
         print()
         print(
             format_table(
-                ["ranks", "density", "DH avg", "CN avg", "agent success"],
+                ["ranks", "density"] + [f"{lbl} avg" for lbl in labels]
+                + ["agent success"],
                 summary,
                 title="Fig. 5 summary — average speedup over naive per density",
             )
@@ -332,9 +397,7 @@ def fig6_moore(
     n = scale.moore_ranks
     machine_spec = MachineSpec.for_ranks(n, scale.ranks_per_socket)
 
-    variants = [("naive", {}, "naive"), ("distance_halving", {}, "dh")] + [
-        ("common_neighbor", {"k": k}, f"cn{k}") for k in DEFAULT_CN_KS
-    ]
+    variants = bench_variants()
     keyed_specs = []
     for r, d in MOORE_CONFIGS:
         topo_spec = TopologySpec("moore", n, radius=r, dims=d)
@@ -347,29 +410,25 @@ def fig6_moore(
                 )
     runs = _run_grid(cfg, keyed_specs, verbose)
 
+    labels, _ = _speedup_headers()
     rows: list[tuple] = []
     records: list[dict[str, Any]] = []
     for r, d in MOORE_CONFIGS:
         for size in MOORE_SIZES:
-            nrun = runs[((r, d), size, "naive")]
-            drun = runs[((r, d), size, "dh")]
-            crun, best_k = _best_cn(runs, ((r, d), size))
-            s_dh = nrun.simulated_time / drun.simulated_time
-            s_cn = nrun.simulated_time / crun.simulated_time
+            cols, _speedups = _speedup_columns(runs, ((r, d), size))
+            msg_size = runs[((r, d), size, _baseline_label())].msg_size
             rows.append(
                 (f"r={r},d={d}", moore_neighbor_count(r, d),
-                 format_size(nrun.msg_size), s_dh, s_cn)
+                 format_size(msg_size),
+                 *(cols[f"{lbl}_speedup"] for lbl in labels))
             )
             records.append(
                 {
                     "r": r,
                     "d": d,
                     "neighbors": moore_neighbor_count(r, d),
-                    "msg_size": nrun.msg_size,
-                    "naive_time": nrun.simulated_time,
-                    "dh_speedup": s_dh,
-                    "cn_speedup": s_cn,
-                    "cn_best_k": best_k,
+                    "msg_size": msg_size,
+                    **cols,
                 }
             )
     payload = {
@@ -380,7 +439,8 @@ def fig6_moore(
     }
     return _emit(
         f"Fig. 6 — Moore neighborhood speedups over naive ({n} ranks)",
-        ["neighborhood", "nbrs", "msg", "DH speedup", "CN speedup"],
+        ["neighborhood", "nbrs", "msg"]
+        + [f"{lbl} speedup" for lbl in labels],
         rows,
         payload,
         verbose,

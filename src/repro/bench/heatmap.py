@@ -114,10 +114,21 @@ def sweep_heatmap(
     seed: int = 23,
     title: str | None = None,
 ) -> str:
-    """Run a (density x size) speedup grid via the orchestrator and render it."""
+    """Run a (density x size) speedup grid via the orchestrator and render it.
+
+    ``baseline`` and ``contender`` are registered algorithm names —
+    unknown names fail here with a one-line error instead of deep inside a
+    worker.
+    """
     from repro.bench.config import SweepConfig
+    from repro.collectives.base import algorithm_info
     from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
 
+    for role, name in (("baseline", baseline), ("contender", contender)):
+        try:
+            algorithm_info(name)
+        except KeyError as exc:
+            raise ValueError(f"{role}: {exc.args[0]}") from None
     cfg = config or SweepConfig()
     machine = MachineSpec.for_ranks(ranks, ranks_per_socket)
     keyed: list[tuple[tuple, "RunSpec"]] = []

@@ -33,6 +33,7 @@ from typing import Any
 
 from repro.bench.config import BenchScale, SweepConfig, get_scale
 from repro.bench.reporting import format_table, geometric_mean
+from repro.collectives.base import SETUP_FREE_FALLBACK, algorithm_info, list_algorithms
 from repro.collectives.runner import RunOptions
 from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
 from repro.sim.faults import (
@@ -42,12 +43,13 @@ from repro.sim.faults import (
 )
 from repro.utils.sizes import format_size, parse_size
 
-#: All allgather algorithms of the study, in report order.
-ALGORITHMS = ("naive", "common_neighbor", "distance_halving")
+#: All bench-enrolled allgather algorithms, in registration (= report) order.
+ALGORITHMS = tuple(info.name for info in list_algorithms(requires={"bench"}))
 #: Topology seed — matches the wallclock harness / Fig. 5 driver.
 FIG5_SEED = 23
-#: Fixed Common Neighbor K (same pin as the wallclock harness).
-CN_K = 4
+#: Fixed Common Neighbor K (the registry's bench pin, shared with the
+#: wallclock harness).
+CN_K = dict(algorithm_info("common_neighbor").bench_kwargs)["k"]
 #: Fault-plan seed for the whole study (per-profile plans share it).
 FAULT_SEED = 7
 #: Grid for the full (non-smoke) study.
@@ -92,10 +94,10 @@ def build_grid(scale: BenchScale, smoke: bool = False) -> list[tuple[int, float,
 
 def _case_spec(case: ResilienceCase, plan) -> RunSpec:
     """The cell as a :class:`RunSpec` (verification runs in-worker)."""
-    kwargs = {"k": CN_K} if case.algorithm == "common_neighbor" else {}
+    kwargs = dict(algorithm_info(case.algorithm).bench_kwargs)
     options = RunOptions(
         fault_plan=plan,
-        fallback="naive" if plan is not None else None,
+        fallback=SETUP_FREE_FALLBACK if plan is not None else None,
         max_sim_time=MAX_SIM_TIME,
         max_events=MAX_EVENTS_PER_MESSAGE * case.ranks * case.ranks,
         verify=True,

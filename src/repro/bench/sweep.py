@@ -18,15 +18,21 @@ from typing import Any
 
 from repro.bench.config import SweepConfig
 from repro.cluster.machine import Machine
-from repro.collectives.base import NeighborhoodAllgatherAlgorithm, get_algorithm
+from repro.collectives.base import (
+    NeighborhoodAllgatherAlgorithm,
+    algorithm_info,
+    get_algorithm,
+    list_algorithms,
+)
 from repro.collectives.runner import run_allgather
 from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
 from repro.topology.graph import DistGraphTopology
 from repro.utils.sizes import format_size, parse_size
 
 #: K values tried for the Common Neighbor baseline (paper: "various values
-#: of K ... we report the best results").
-DEFAULT_CN_KS = (2, 4, 8)
+#: of K ... we report the best results").  Sourced from the registry's
+#: tuning declaration so the registration site is the single authority.
+DEFAULT_CN_KS = algorithm_info("common_neighbor").tuning_values("k")
 
 
 @dataclass
@@ -90,11 +96,10 @@ def best_common_neighbor(
     return best
 
 
-#: The smoke grid: every algorithm family, two densities, two sizes.
-SMOKE_ALGORITHMS = (
-    ("naive", ()),
-    ("distance_halving", ()),
-    ("common_neighbor", (("k", 2),)),
+#: The smoke grid: every bench-enrolled algorithm (with its registry bench
+#: kwargs), two densities, two sizes.
+SMOKE_ALGORITHMS = tuple(
+    (info.name, info.bench_kwargs) for info in list_algorithms(requires={"bench"})
 )
 
 

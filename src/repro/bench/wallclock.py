@@ -37,17 +37,18 @@ from typing import Any
 
 from repro.bench.config import BenchScale, bench_machine, get_scale
 from repro.bench.reporting import format_table, geometric_mean
-from repro.collectives.base import get_algorithm
+from repro.collectives.base import algorithm_info, get_algorithm, list_algorithms
 from repro.collectives.runner import RunOptions, run_allgather
 from repro.topology.random_graphs import erdos_renyi_topology
 from repro.utils.sizes import format_size, parse_size
 
-#: All three allgather algorithms, timed per case.
-ALGORITHMS = ("naive", "common_neighbor", "distance_halving")
+#: All bench-enrolled allgather algorithms, timed per case.
+ALGORITHMS = tuple(info.name for info in list_algorithms(requires={"bench"}))
 #: Topology seed — matches the Fig. 5 driver so archived rows are comparable.
 FIG5_SEED = 23
-#: Fixed Common Neighbor K (Fig. 5 sweeps K; the harness pins it for speed).
-CN_K = 4
+#: Fixed Common Neighbor K (Fig. 5 sweeps K; the registry's bench pin
+#: fixes it here for speed).
+CN_K = dict(algorithm_info("common_neighbor").bench_kwargs)["k"]
 #: Grid subset of the Fig. 5 configuration used for the full harness run.
 FULL_DENSITIES = (0.1, 0.3)
 FULL_SIZES = ("8", "8KB", "512KB")
@@ -208,7 +209,7 @@ def paper_scale_cases(repeats_density: float = 0.3,
 def _run_case(case: WallclockCase, repeats: int, check_trace: bool) -> CaseResult:
     machine = bench_machine(case.ranks, case.ranks_per_socket)
     topology = erdos_renyi_topology(case.ranks, case.density, seed=FIG5_SEED)
-    kwargs = {"k": CN_K} if case.algorithm == "common_neighbor" else {}
+    kwargs = dict(algorithm_info(case.algorithm).bench_kwargs)
     algorithm = get_algorithm(case.algorithm, **kwargs)
     algorithm.setup(topology, machine)  # pay pattern creation once, outside timing
 

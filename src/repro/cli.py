@@ -8,8 +8,9 @@ Commands
 ``calibrate``
     Simulated ping-pong and the fitted Hockney (alpha, beta).
 ``compare``
-    Run all three allgather algorithms on one workload and print the
-    comparison table (latency, speedup, message counts).
+    Run every oracle-capable allgather algorithm (or a ``--algorithms``
+    subset) on one workload and print the comparison table (latency,
+    speedup, message counts).
 ``model``
     Evaluate the paper's performance model (Fig. 2 grid) at paper scale.
 ``spmm``
@@ -26,8 +27,9 @@ Commands
     reruns are bit-identical to serial cold runs.
 ``fuzz``
     Differential conformance fuzzer (:mod:`repro.verify`): random
-    scenarios through all three algorithms with metamorphic invariants and
-    trace conservation laws; failures are shrunk and written as replayable
+    scenarios through every oracle-capable algorithm with metamorphic
+    invariants and trace conservation laws; failures are shrunk and
+    written as replayable
     repro files (``--replay`` re-checks one).  ``--inject-bug`` is the
     mutation self-test proving the pipeline catches a planted defect.
     ``--profile crash`` draws fail-stop rank crashes and checks the
@@ -101,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--seed", type=int, default=0)
     cmp_p.add_argument("--collective", choices=("allgather", "alltoall"),
                        default="allgather")
+    cmp_p.add_argument("--algorithms", default=None, metavar="NAME[,NAME...]",
+                       help="comma-separated allgather algorithms to compare "
+                            "(default: every oracle-capable registered "
+                            "algorithm)")
     cmp_p.add_argument("--faults", choices=PROFILE_NAMES, default=None,
                        help="inject a named fault profile (allgather only); "
                             "degraded setups fall back to naive")
@@ -243,11 +249,14 @@ def _machine(args):
 def cmd_info(args) -> int:
     import repro
     from repro.bench.config import _SCALES
-    from repro.collectives import available_algorithms
     from repro.collectives.alltoall import alltoall_algorithms
+    from repro.collectives.base import list_algorithms
 
     print(f"repro {repro.__version__} — CLUSTER 2024 neighborhood-allgather reproduction")
-    print(f"allgather algorithms: {', '.join(available_algorithms())}")
+    print("allgather algorithms:")
+    for info in list_algorithms():
+        caps = ", ".join(sorted(info.capabilities)) or "-"
+        print(f"  {info.name:<20} [{caps}]")
     print(f"alltoall algorithms : {', '.join(alltoall_algorithms())}")
     print("bench scales        : " + ", ".join(
         f"{name} ({s.ranks} ranks)" for name, s in _SCALES.items()
@@ -292,25 +301,43 @@ def cmd_compare(args) -> int:
     baseline = None
     if args.collective == "allgather":
         from repro.collectives import RunOptions, run_allgather, verify_allgather
+        from repro.collectives.base import (
+            SETUP_FREE_FALLBACK,
+            algorithm_info,
+            list_algorithms,
+        )
         from repro.sim.faults import get_profile
 
+        if args.algorithms:
+            names = tuple(n_.strip() for n_ in args.algorithms.split(",") if n_.strip())
+            for name in names:
+                try:
+                    algorithm_info(name)
+                except KeyError as exc:
+                    print(f"error: --algorithms: {exc.args[0]}", file=sys.stderr)
+                    return 2
+        else:
+            names = tuple(
+                info.name for info in list_algorithms(requires={"oracle"})
+            )
         fault_plan = (
             get_profile(args.faults, n, seed=args.seed) if args.faults else None
         )
         # Crash profiles pair the plan with its recovery policy: ``crash``
-        # degrades to naive, ``crash_recover`` shrinks and re-plans.
+        # degrades to the setup-free fallback, ``crash_recover`` shrinks
+        # and re-plans.
         on_failure = CRASH_PROFILE_MODES.get(args.faults, "abort")
         if fault_plan is not None:
             mode = f", on_failure={on_failure}" if on_failure != "abort" else ""
             print(f"faults  : {args.faults} ({fault_plan.describe()}{mode})\n")
         options = RunOptions(
             fault_plan=fault_plan,
-            fallback="naive" if fault_plan is not None else None,
+            fallback=SETUP_FREE_FALLBACK if fault_plan is not None else None,
             max_sim_time=args.max_sim_time,
             max_events=args.max_events,
             on_failure=on_failure,
         )
-        for name in ("naive", "common_neighbor", "distance_halving"):
+        for name in names:
             run = run_allgather(name, topology, machine, args.msg, options=options)
             verify_allgather(topology, run, allow_missing=run.missing_ranks)
             baseline = baseline or run.simulated_time

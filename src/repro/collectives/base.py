@@ -188,26 +188,151 @@ class NeighborhoodAllgatherAlgorithm(abc.ABC):
         return f"{type(self).__name__}(name={self.name!r}, {state})"
 
 
-_REGISTRY: dict[str, type[NeighborhoodAllgatherAlgorithm]] = {}
+#: The capability vocabulary.  Registration validates declared capabilities
+#: against this set, so a typo ("shedule") fails at import time, not when a
+#: bench silently skips the backend.  See docs/ARCHITECTURE.md ("the
+#: algorithm zoo") for what each flag promises.
+CAPABILITIES = frozenset({
+    "schedule",    # exports a static Schedule (overrides build_schedule)
+    "replan",      # supports on_failure="shrink" over a residual topology
+    "setup_free",  # zero pattern-creation cost; usable as a degrade target
+    "oracle",      # enrolled as a mutual oracle in repro.verify fuzzing
+    "bench",       # enrolled in the bench sweeps / figures / resilience grids
+    "tunable",     # has a tuning grid (declared via ``tuning=``)
+})
+
+#: The registry-resolved degrade/fallback target: the algorithm every
+#: ``fallback=`` / ``on_failure="degrade"`` path restarts with.  Its
+#: registration must declare ``setup_free`` (checked in
+#: :func:`register_algorithm`) — degrading to an algorithm that itself
+#: needs a setup exchange would be circular.
+SETUP_FREE_FALLBACK = "naive"
 
 
-def register_algorithm(cls: type[NeighborhoodAllgatherAlgorithm]):
-    """Class decorator: register under ``cls.name`` for name-based lookup."""
-    if not cls.name or cls.name == "abstract":
-        raise ValueError(f"{cls.__name__} must define a unique non-abstract name")
-    if cls.name in _REGISTRY:
-        raise ValueError(f"algorithm {cls.name!r} already registered")
-    _REGISTRY[cls.name] = cls
-    return cls
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Registry entry: an algorithm class plus its declared capabilities.
+
+    ``bench_kwargs`` are the constructor arguments benches use for the
+    single-variant grids (resilience, wallclock, smoke sweeps);
+    ``tuning`` maps parameter name -> value grid for benches that sweep a
+    family (fig5/fig6 run every Common Neighbor ``k``); ``label`` is the
+    short column/record prefix used in reports (``cn`` -> ``cn4_time``).
+    """
+
+    name: str
+    cls: type[NeighborhoodAllgatherAlgorithm]
+    capabilities: frozenset[str]
+    label: str
+    bench_kwargs: tuple[tuple[str, Any], ...] = ()
+    tuning: tuple[tuple[str, tuple[Any, ...]], ...] = ()
+
+    def has(self, *caps: str) -> bool:
+        return all(c in self.capabilities for c in caps)
+
+    def tuning_values(self, param: str) -> tuple[Any, ...]:
+        for p, values in self.tuning:
+            if p == param:
+                return values
+        raise KeyError(f"{self.name!r} declares no tuning grid for {param!r}")
+
+
+_REGISTRY: dict[str, AlgorithmInfo] = {}
+
+
+def register_algorithm(
+    cls: type[NeighborhoodAllgatherAlgorithm] | None = None,
+    *,
+    capabilities: frozenset[str] | tuple[str, ...] = (),
+    label: str | None = None,
+    bench_kwargs: tuple[tuple[str, Any], ...] = (),
+    tuning: tuple[tuple[str, tuple[Any, ...]], ...] = (),
+):
+    """Class decorator: register under ``cls.name`` with declared capabilities.
+
+    Usable bare (``@register_algorithm``, no capabilities — the backend is
+    lookup-only) or with arguments.  Declarations are validated here so a
+    broken registration fails at import time: unknown capability names,
+    ``schedule``/``replan`` without the matching method override, ``tunable``
+    without a grid (or a grid without ``tunable``), ``bench_kwargs`` the
+    constructor rejects, and a :data:`SETUP_FREE_FALLBACK` registration
+    that is not actually setup-free are all errors.
+    """
+
+    def _register(cls: type[NeighborhoodAllgatherAlgorithm]):
+        if not cls.name or cls.name == "abstract":
+            raise ValueError(f"{cls.__name__} must define a unique non-abstract name")
+        if cls.name in _REGISTRY:
+            raise ValueError(f"algorithm {cls.name!r} already registered")
+        caps = frozenset(capabilities)
+        unknown = caps - CAPABILITIES
+        if unknown:
+            raise ValueError(
+                f"{cls.name!r} declares unknown capabilities {sorted(unknown)}; "
+                f"known: {sorted(CAPABILITIES)}"
+            )
+        base = NeighborhoodAllgatherAlgorithm
+        if "schedule" in caps and cls.build_schedule is base.build_schedule:
+            raise ValueError(
+                f"{cls.name!r} declares 'schedule' but does not override build_schedule"
+            )
+        if "replan" in caps and cls.replan is base.replan:
+            raise ValueError(
+                f"{cls.name!r} declares 'replan' but does not override replan"
+            )
+        if ("tunable" in caps) != bool(tuning):
+            raise ValueError(
+                f"{cls.name!r}: 'tunable' capability and a tuning= grid "
+                "must be declared together"
+            )
+        if cls.name == SETUP_FREE_FALLBACK and "setup_free" not in caps:
+            raise ValueError(
+                f"{cls.name!r} is the SETUP_FREE_FALLBACK and must declare 'setup_free'"
+            )
+        if "bench" in caps:
+            cls(**dict(bench_kwargs))  # bench_kwargs must construct cleanly
+        _REGISTRY[cls.name] = AlgorithmInfo(
+            name=cls.name,
+            cls=cls,
+            capabilities=caps,
+            label=label or cls.name,
+            bench_kwargs=tuple(bench_kwargs),
+            tuning=tuple((p, tuple(vs)) for p, vs in tuning),
+        )
+        return cls
+
+    if cls is not None:
+        return _register(cls)
+    return _register
+
+
+def algorithm_info(name: str) -> AlgorithmInfo:
+    """The registry entry for ``name`` (KeyError listing alternatives)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown algorithm {name!r}; available: {sorted(_REGISTRY)}") from None
+
+
+def list_algorithms(requires: frozenset[str] | set[str] | tuple[str, ...] = ()) -> tuple[AlgorithmInfo, ...]:
+    """Registered algorithms declaring every capability in ``requires``.
+
+    Returned in registration order (stable across runs — import order of
+    :mod:`repro.collectives` fixes it), so benches and reports keep their
+    historical row order when queried instead of hardcoded.
+    """
+    wanted = frozenset(requires)
+    unknown = wanted - CAPABILITIES
+    if unknown:
+        raise ValueError(
+            f"unknown capabilities {sorted(unknown)}; known: {sorted(CAPABILITIES)}"
+        )
+    return tuple(info for info in _REGISTRY.values() if wanted <= info.capabilities)
 
 
 def get_algorithm(name: str, **kwargs) -> NeighborhoodAllgatherAlgorithm:
     """Instantiate a registered algorithm by name (kwargs to its __init__)."""
-    try:
-        cls = _REGISTRY[name]
-    except KeyError:
-        raise KeyError(f"unknown algorithm {name!r}; available: {sorted(_REGISTRY)}") from None
-    return cls(**kwargs)
+    return algorithm_info(name).cls(**kwargs)
 
 
 def available_algorithms() -> tuple[str, ...]:

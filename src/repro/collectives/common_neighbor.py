@@ -48,7 +48,12 @@ class _RankPlan:
     self_copy: bool = False
 
 
-@register_algorithm
+@register_algorithm(
+    capabilities=("schedule", "replan", "oracle", "bench", "tunable"),
+    label="cn",
+    bench_kwargs=(("k", 4),),
+    tuning=(("k", (2, 4, 8)),),
+)
 class CommonNeighborAllgather(NeighborhoodAllgatherAlgorithm):
     """Message combining over groups of ``k`` common-neighbor ranks."""
 

@@ -20,7 +20,10 @@ from repro.sim.communicator import SimCommunicator
 from repro.topology.graph import DistGraphTopology
 
 
-@register_algorithm
+@register_algorithm(
+    capabilities=("schedule", "replan", "oracle", "bench"),
+    label="dh",
+)
 class DistanceHalvingAllgather(NeighborhoodAllgatherAlgorithm):
     """Topology- and load-aware distance-halving neighborhood allgather.
 

@@ -25,7 +25,10 @@ from repro.topology.graph import DistGraphTopology
 NAIVE_TAG = 0
 
 
-@register_algorithm
+@register_algorithm(
+    capabilities=("schedule", "replan", "setup_free", "oracle", "bench"),
+    label="naive",
+)
 class NaiveAllgather(NeighborhoodAllgatherAlgorithm):
     """Direct isend/irecv to every outgoing/incoming neighbor."""
 

@@ -10,15 +10,16 @@ from __future__ import annotations
 
 import dataclasses
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cluster.machine import Machine
 from repro.collectives.base import (
+    SETUP_FREE_FALLBACK,
     ExecutionContext,
     NeighborhoodAllgatherAlgorithm,
     SetupStats,
+    algorithm_info,
     get_algorithm,
 )
 from repro.sim.engine import Engine, RankFailedError
@@ -173,6 +174,11 @@ class RunOptions:
                 f"on_failure must be 'abort', 'shrink' or 'degrade', "
                 f"got {self.on_failure!r}"
             )
+        if self.fallback is not None:
+            try:
+                algorithm_info(self.fallback)
+            except KeyError as exc:
+                raise ValueError(f"fallback: {exc.args[0]}") from None
 
     def canonical(self) -> dict:
         """JSON-safe dict with a stable field order (for spec digests).
@@ -220,11 +226,6 @@ class RunOptions:
 
 #: Shared default options (all fields at their defaults).
 DEFAULT_OPTIONS = RunOptions()
-
-#: Legacy run_allgather keywords absorbed into :class:`RunOptions`.
-_LEGACY_OPTION_KEYS = (
-    "trace", "noise_seed", "fault_plan", "fallback", "max_sim_time", "max_events",
-)
 
 
 @dataclass
@@ -288,42 +289,6 @@ class AllgatherRun:
         return dataclasses.replace(self, results=[], trace=None)
 
 
-def _absorb_legacy_kwargs(
-    algorithm: str | NeighborhoodAllgatherAlgorithm,
-    options: RunOptions | None,
-    legacy: dict[str, Any],
-) -> tuple[str | NeighborhoodAllgatherAlgorithm, RunOptions | None]:
-    """Deprecation shim: fold pre-RunOptions keywords into the new API.
-
-    Option keywords (``trace``, ``noise_seed``, ``fault_plan``,
-    ``fallback``, ``max_sim_time``, ``max_events``) become a
-    :class:`RunOptions`; any remaining keywords are algorithm constructor
-    arguments, resolved through :func:`get_algorithm` exactly as before.
-    """
-    option_kwargs = {k: legacy.pop(k) for k in _LEGACY_OPTION_KEYS if k in legacy}
-    warnings.warn(
-        "passing "
-        + ", ".join(sorted(list(option_kwargs) + [f"{k} (algorithm kwarg)" for k in legacy]))
-        + " to run_allgather as bare keywords is deprecated; pass "
-        "options=RunOptions(...) and build algorithm instances with "
-        "get_algorithm(name, **kwargs) (or use repro.exec.RunSpec)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    if legacy and not isinstance(algorithm, str):
-        raise ValueError("algorithm_kwargs only apply when algorithm is a name")
-    if legacy:
-        algorithm = get_algorithm(algorithm, **legacy)
-    if option_kwargs:
-        if options is not None:
-            raise ValueError(
-                "pass either options=RunOptions(...) or legacy option "
-                f"keywords, not both (got both options= and {sorted(option_kwargs)})"
-            )
-        options = RunOptions(**option_kwargs)
-    return algorithm, options
-
-
 def run_allgather(
     algorithm: str | NeighborhoodAllgatherAlgorithm,
     topology: DistGraphTopology,
@@ -332,18 +297,19 @@ def run_allgather(
     *,
     options: RunOptions | None = None,
     payloads: list[Any] | None = None,
-    **legacy_kwargs,
+    **unexpected_kwargs,
 ) -> AllgatherRun:
     """Simulate one neighborhood allgather and return its latency and data.
 
     Parameters
     ----------
     algorithm:
-        A registered algorithm name (``"naive"``, ``"common_neighbor"``,
-        ``"distance_halving"``) or a (possibly pre-setup) instance.  Passing
-        an instance across calls reuses its communication pattern — message
-        size sweeps only pay setup once, as a real MPI application would.
-        Algorithm constructor arguments go through
+        A registered algorithm name (see
+        :func:`~repro.collectives.base.available_algorithms`) or a
+        (possibly pre-setup) instance.  Passing an instance across calls
+        reuses its communication pattern — message size sweeps only pay
+        setup once, as a real MPI application would.  Algorithm
+        constructor arguments go through
         :func:`~repro.collectives.base.get_algorithm` (or a
         :class:`repro.exec.RunSpec`), not through this function.
     topology, machine, msg_size:
@@ -359,14 +325,17 @@ def run_allgather(
         Optional per-rank payload objects; defaults to the rank id, which
         makes delivered-block identity checkable by :func:`verify_allgather`.
 
-    .. deprecated:: 1.1
-        The former bare keywords (``trace``, ``noise_seed``, ``fault_plan``,
-        ``fallback``, ``max_sim_time``, ``max_events``, and
-        ``**algorithm_kwargs``) still work but emit ``DeprecationWarning``;
-        use ``options=`` / ``get_algorithm`` instead.
+    Any other keyword is rejected: the pre-``RunOptions`` bare keywords
+    (removed after their deprecation cycle) and algorithm constructor
+    arguments both raise ``ValueError`` pointing at the supported spelling.
     """
-    if legacy_kwargs:
-        algorithm, options = _absorb_legacy_kwargs(algorithm, options, legacy_kwargs)
+    if unexpected_kwargs:
+        raise ValueError(
+            f"run_allgather got unexpected keyword(s) {sorted(unexpected_kwargs)}: "
+            "pass execution options as options=RunOptions(...) and build "
+            "algorithm instances with get_algorithm(name, **kwargs) "
+            "(or use repro.exec.RunSpec)"
+        )
     opts = options if options is not None else DEFAULT_OPTIONS
     if isinstance(algorithm, str):
         algorithm = get_algorithm(algorithm)
@@ -658,14 +627,15 @@ def _run_with_recovery(
         plan = plan.shrink(survivors_cur, failure.detection_time)
         rank_map = new_map
         if mode == "degrade":
-            next_alg = get_algorithm("naive")
+            next_alg = get_algorithm(SETUP_FREE_FALLBACK)
         else:
             next_alg = current_alg.replan(tuple(new_map), merged)
         replan_stats = next_alg.setup(current_topology, machine)
         if plan is not None and not plan.setup_survivable(replan_stats.protocol_messages):
             # The shrunk plan's loss would starve the replanned setup
-            # negotiation: degrade the recovery round to setup-free naive.
-            next_alg = get_algorithm("naive")
+            # negotiation: degrade the recovery round to the setup-free
+            # fallback.
+            next_alg = get_algorithm(SETUP_FREE_FALLBACK)
             replan_stats = next_alg.setup(current_topology, machine)
         replan_messages += replan_stats.protocol_messages
         offset += replan_stats.simulated_time

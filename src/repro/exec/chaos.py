@@ -35,12 +35,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
+from repro.collectives.base import list_algorithms
 from repro.exec.cache import ResultCache
 from repro.exec.orchestrator import CHAOS_ENV, MAX_ATTEMPTS, execute
 from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
 
-#: Algorithms exercised by every chaos sweep.
-ALGORITHMS = ("naive", "common_neighbor", "distance_halving")
+#: Algorithms exercised by every chaos sweep: the oracle set, same as the
+#: differential fuzzer (chaos is about the exec layer, so any correct
+#: backend mix works; the oracle set keeps failures cross-checkable).
+ALGORITHMS = tuple(info.name for info in list_algorithms(requires={"oracle"}))
 
 #: Message sizes per algorithm (small: chaos is about the exec layer,
 #: not the simulation).

@@ -55,7 +55,8 @@ Failure semantics
   does.  :meth:`FaultPlan.setup_survivable` declares a setup infeasible
   when the expected number of permanently lost control messages reaches 1;
   :func:`~repro.collectives.runner.run_allgather` can then gracefully
-  degrade to a setup-free algorithm (``fallback="naive"``).
+  degrade to a setup-free algorithm
+  (``fallback=repro.collectives.base.SETUP_FREE_FALLBACK``).
 """
 
 from __future__ import annotations

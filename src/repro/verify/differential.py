@@ -1,7 +1,7 @@
 """The differential fuzzer: run every algorithm on random scenarios.
 
-One *trial* takes a :class:`~repro.verify.generators.Scenario`, runs all
-three allgather algorithms on it through the production
+One *trial* takes a :class:`~repro.verify.generators.Scenario`, runs every
+oracle-capable allgather algorithm on it through the production
 :class:`~repro.exec.RunSpec` path, and checks the full invariant battery
 (:mod:`repro.verify.invariants`).  :func:`fuzz` is the driver loop:
 generate, run, and on the first failing trial shrink the scenario
@@ -26,11 +26,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.collectives.base import list_algorithms
 from repro.verify.generators import Scenario, ScenarioConfig, generate_scenario
 from repro.verify.invariants import Violation, run_invariants
 
-#: Algorithms every trial runs (the differential set).
-ALGORITHMS = ("naive", "common_neighbor", "distance_halving")
+#: Algorithms every trial runs (the differential set): every registered
+#: backend declaring the ``oracle`` capability.  Registering a new oracle
+#: enrolls it in the fuzzer automatically.
+ALGORITHMS = tuple(info.name for info in list_algorithms(requires={"oracle"}))
 
 #: Registered bug injectors for mutation testing (name -> corruptor).
 BUG_INJECTORS: dict[str, Callable[[dict], None]] = {}

@@ -21,6 +21,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.collectives.base import SETUP_FREE_FALLBACK
 from repro.collectives.runner import RunOptions
 from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
 from repro.sim.faults import (
@@ -179,10 +180,10 @@ def generate_scenario(
     on_failure = "abort"
     if config.profile == "faulty":
         fault_plan = _draw_fault_plan(rng, machine.n_ranks)
-        fallback = "naive"
+        fallback = SETUP_FREE_FALLBACK
     elif config.profile == "crash":
         fault_plan = _draw_crash_plan(rng, machine.n_ranks)
-        fallback = "naive"
+        fallback = SETUP_FREE_FALLBACK
         if fault_plan is not None:
             on_failure = str(rng.choice(["shrink", "degrade"]))
     options = RunOptions(

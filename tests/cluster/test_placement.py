@@ -104,7 +104,7 @@ class TestJitter:
     def test_allgather_still_correct_with_noise(self, small_machine):
         noisy = self.make_noisy(small_machine, 0.4)
         topo = erdos_renyi_topology(noisy.spec.n_ranks, 0.4, seed=53)
-        for alg in ("naive", "common_neighbor", "distance_halving"):
+        for alg in ("naive", "common_neighbor", "distance_halving", "bruck"):
             run = run_allgather(alg, topo, noisy, 256,
                                 options=RunOptions(noise_seed=11))
             verify_allgather(topo, run)

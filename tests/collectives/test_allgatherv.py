@@ -8,7 +8,7 @@ from repro.cluster import Machine
 from repro.collectives import run_allgather, run_allgatherv, verify_allgather
 from repro.topology import DistGraphTopology, erdos_renyi_topology
 
-ALGS = ("naive", "common_neighbor", "distance_halving")
+ALGS = ("naive", "common_neighbor", "distance_halving", "bruck")
 
 
 class TestBasics:

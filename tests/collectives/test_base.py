@@ -5,8 +5,10 @@ import pytest
 from repro.collectives.base import (
     NeighborhoodAllgatherAlgorithm,
     SetupStats,
+    algorithm_info,
     available_algorithms,
     get_algorithm,
+    list_algorithms,
     register_algorithm,
 )
 from repro.topology import erdos_renyi_topology
@@ -83,3 +85,128 @@ class TestLifecycle:
         topo = erdos_renyi_topology(100, 0.1, seed=0)
         with pytest.raises(ValueError, match="machine only"):
             alg.setup(topo, tiny_machine)
+
+
+class TestCapabilityDeclarations:
+    """Registration-time validation of the capability vocabulary."""
+
+    @pytest.fixture
+    def scratch(self):
+        """Record scratch registrations; pop them from the registry after."""
+        from repro.collectives import base as base_mod
+
+        names = []
+        yield names
+        for name in names:
+            base_mod._REGISTRY.pop(name, None)
+
+    @staticmethod
+    def _minimal(name):
+        class Minimal(NeighborhoodAllgatherAlgorithm):
+            def _build(self, topology, machine):
+                return SetupStats()
+
+            def program(self, comm, ctx):
+                return None
+
+        Minimal.name = name
+        return Minimal
+
+    def test_unknown_capability_rejected(self):
+        with pytest.raises(ValueError, match="unknown capabilities"):
+            register_algorithm(self._minimal("scratch_typo"),
+                               capabilities=("shedule",))
+
+    def test_schedule_requires_build_schedule_override(self):
+        with pytest.raises(ValueError, match="does not override build_schedule"):
+            register_algorithm(self._minimal("scratch_sched"),
+                               capabilities=("schedule",))
+
+    def test_replan_requires_replan_override(self):
+        with pytest.raises(ValueError, match="does not override replan"):
+            register_algorithm(self._minimal("scratch_replan"),
+                               capabilities=("replan",))
+
+    def test_tunable_requires_grid(self):
+        with pytest.raises(ValueError, match="declared together"):
+            register_algorithm(self._minimal("scratch_tun"),
+                               capabilities=("tunable",))
+
+    def test_grid_requires_tunable(self):
+        with pytest.raises(ValueError, match="declared together"):
+            register_algorithm(self._minimal("scratch_grid"),
+                               tuning=(("k", (1, 2)),))
+
+    def test_bench_kwargs_must_construct(self):
+        with pytest.raises(TypeError):
+            register_algorithm(self._minimal("scratch_bench"),
+                               capabilities=("bench",),
+                               bench_kwargs=(("no_such_param", 1),))
+
+    def test_bare_registration_is_lookup_only(self, scratch):
+        cls = register_algorithm(self._minimal("scratch_bare"))
+        scratch.append("scratch_bare")
+        info = algorithm_info("scratch_bare")
+        assert info.cls is cls
+        assert info.capabilities == frozenset()
+        assert info.label == "scratch_bare"
+        # Lookup-only backends stay out of every capability-gated surface.
+        assert all(i.name != "scratch_bare"
+                   for i in list_algorithms(requires={"oracle"}))
+
+    def test_list_algorithms_unknown_requirement(self):
+        with pytest.raises(ValueError, match="unknown"):
+            list_algorithms(requires={"bogus_capability"})
+
+    def test_list_algorithms_registration_order(self):
+        names = [i.name for i in list_algorithms()]
+        assert names == [
+            "naive", "common_neighbor", "distance_halving",
+            "hierarchical", "bruck",
+        ]
+
+    def test_info_has_and_tuning_values(self):
+        cn = algorithm_info("common_neighbor")
+        assert cn.has("tunable", "bench") and not cn.has("setup_free")
+        assert cn.tuning_values("k")
+        with pytest.raises(KeyError, match="no tuning grid"):
+            cn.tuning_values("radius")
+
+    def test_algorithm_info_unknown_lists_available(self):
+        with pytest.raises(KeyError, match="available"):
+            algorithm_info("telepathy")
+
+
+class TestRegistryCompleteness:
+    """Pins: every capability-enrolled algorithm reaches every consumer
+    surface (fuzz oracles, bench sweeps, chaos) through the registry."""
+
+    def test_oracle_set_drives_fuzzer_and_chaos(self):
+        from repro.exec import chaos
+        from repro.verify import differential
+
+        oracle = tuple(i.name for i in list_algorithms(requires={"oracle"}))
+        assert differential.ALGORITHMS == oracle
+        assert chaos.ALGORITHMS == oracle
+        assert "bruck" in oracle
+
+    def test_bench_set_drives_every_bench_surface(self):
+        from repro.bench import resilience, sweep, wallclock
+
+        bench = tuple(i.name for i in list_algorithms(requires={"bench"}))
+        assert wallclock.ALGORITHMS == bench
+        assert resilience.ALGORITHMS == bench
+        assert tuple(name for name, _ in sweep.SMOKE_ALGORITHMS) == bench
+        assert "bruck" in bench
+
+    def test_fallback_is_registered_and_setup_free(self):
+        from repro.collectives.base import SETUP_FREE_FALLBACK
+
+        info = algorithm_info(SETUP_FREE_FALLBACK)
+        assert info.has("setup_free")
+
+    def test_every_schedule_algorithm_also_replans(self):
+        # The shrink path replays a schedule-capable backend over the
+        # residual topology; all current schedule exporters support it.
+        for info in list_algorithms(requires={"schedule"}):
+            assert info.has("replan"), info.name

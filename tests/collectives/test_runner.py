@@ -33,8 +33,7 @@ class TestRunAllgather:
 
     def test_kwargs_with_instance_rejected(self, small_machine, small_topology):
         alg = get_algorithm("naive")
-        with pytest.warns(DeprecationWarning), \
-                pytest.raises(ValueError, match="algorithm_kwargs"):
+        with pytest.raises(ValueError, match="unexpected keyword"):
             run_allgather(alg, small_topology, small_machine, 64, k=4)
 
     def test_trace_collection(self, small_machine, small_topology):
@@ -130,77 +129,61 @@ class TestVerifyAllgather:
 
 
 class TestDegenerateTopologies:
-    @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving"])
+    @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving", "bruck"])
     def test_empty_topology(self, small_machine, name):
         topo = DistGraphTopology(small_machine.spec.n_ranks, {})
         run = run_allgather(name, topo, small_machine, 64)
         verify_allgather(topo, run)
         assert run.simulated_time >= 0
 
-    @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving"])
+    @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving", "bruck"])
     def test_single_edge(self, small_machine, name):
         topo = DistGraphTopology(small_machine.spec.n_ranks, {0: [small_machine.spec.n_ranks - 1]})
         run = run_allgather(name, topo, small_machine, 64)
         verify_allgather(topo, run)
 
-    @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving"])
+    @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving", "bruck"])
     def test_self_loops(self, small_machine, name):
         n = small_machine.spec.n_ranks
         topo = DistGraphTopology(n, {r: [r, (r + 1) % n] for r in range(n)})
         run = run_allgather(name, topo, small_machine, 64)
         verify_allgather(topo, run)
 
-    @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving"])
+    @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving", "bruck"])
     def test_complete_graph(self, small_machine, name):
         topo = erdos_renyi_topology(small_machine.spec.n_ranks, 1.0, seed=0)
         run = run_allgather(name, topo, small_machine, 64)
         verify_allgather(topo, run)
 
-    @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving"])
+    @pytest.mark.parametrize("name", ["naive", "common_neighbor", "distance_halving", "bruck"])
     def test_zero_byte_messages(self, small_machine, small_topology, name):
         run = run_allgather(name, small_topology, small_machine, 0)
         verify_allgather(small_topology, run)
 
 
-class TestLegacyKeywordShim:
-    """The pre-RunOptions keyword surface still works, with a warning."""
+class TestUnexpectedKeywords:
+    """The pre-RunOptions keyword surface is gone: clean rejection only."""
 
-    def test_option_keyword_warns_and_matches_options_path(
-        self, small_machine, small_topology
-    ):
-        with pytest.warns(DeprecationWarning, match="trace"):
-            legacy = run_allgather(
-                "naive", small_topology, small_machine, 64, trace=True
-            )
-        modern = run_allgather(
-            "naive", small_topology, small_machine, 64,
-            options=RunOptions(trace=True),
-        )
-        assert legacy.trace is not None
-        assert legacy.simulated_time == modern.simulated_time
+    def test_option_keyword_rejected(self, small_machine, small_topology):
+        with pytest.raises(ValueError, match="unexpected keyword.*trace"):
+            run_allgather("naive", small_topology, small_machine, 64, trace=True)
 
-    def test_algorithm_kwarg_warns_and_matches_get_algorithm(
-        self, small_machine, small_topology
-    ):
-        with pytest.warns(DeprecationWarning, match="algorithm kwarg"):
-            legacy = run_allgather(
+    def test_algorithm_kwarg_rejected(self, small_machine, small_topology):
+        with pytest.raises(ValueError, match="unexpected keyword.*k"):
+            run_allgather(
                 "common_neighbor", small_topology, small_machine, 64, k=2
             )
-        modern = run_allgather(
-            get_algorithm("common_neighbor", k=2),
-            small_topology, small_machine, 64,
-        )
-        assert legacy.simulated_time == modern.simulated_time
 
-    def test_mixing_options_and_legacy_keywords_rejected(
-        self, small_machine, small_topology
-    ):
-        with pytest.warns(DeprecationWarning), \
-                pytest.raises(ValueError, match="not both"):
+    def test_error_names_every_stray_keyword(self, small_machine, small_topology):
+        with pytest.raises(ValueError, match="noise_seed.*trace"):
             run_allgather(
                 "naive", small_topology, small_machine, 64,
-                options=RunOptions(), noise_seed=3,
+                options=RunOptions(), trace=True, noise_seed=3,
             )
+
+    def test_error_points_at_modern_surface(self, small_machine, small_topology):
+        with pytest.raises(ValueError, match="options=RunOptions"):
+            run_allgather("naive", small_topology, small_machine, 64, trace=True)
 
     def test_modern_call_is_warning_free(self, small_machine, small_topology):
         import warnings
@@ -211,3 +194,7 @@ class TestLegacyKeywordShim:
                 "naive", small_topology, small_machine, 64,
                 options=RunOptions(noise_seed=2),
             )
+
+    def test_unknown_fallback_rejected_at_options_construction(self):
+        with pytest.raises(ValueError, match="fallback.*no_such_algorithm"):
+            RunOptions(fallback="no_such_algorithm")

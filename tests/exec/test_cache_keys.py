@@ -25,6 +25,12 @@ from repro.cluster.spec import LinkClass
 BASE_TOPOLOGY = TopologySpec("random", 16, density=0.3, seed=1)
 BASE_MACHINE = MachineSpec(nodes=2, sockets_per_node=2, ranks_per_socket=4)
 
+#: Digest of the default naive spec above, frozen when the capability
+#: registry landed; it must never move (cached results stay addressable).
+GOLDEN_NAIVE_DIGEST = (
+    "e88e30c65d8bdc7e6b56262f309ac2f22df66098cd72eda936d4972d859fcd60"
+)
+
 
 def _spec(options: RunOptions) -> RunSpec:
     return RunSpec(
@@ -180,3 +186,39 @@ class TestDigestStability:
         )
         assert FaultPlan.from_dict(plan.to_dict()) == plan
         assert FaultPlan.from_dict(FaultPlan(detector=None).to_dict()).detector is None
+
+
+class TestAlgorithmNamesReachDigest:
+    """Every registered backend is digest-visible: a sweep over the full
+    registry can never alias two algorithms to one cache entry."""
+
+    def test_every_registered_algorithm_digest_distinct(self):
+        from repro.collectives.base import list_algorithms
+
+        digests = {}
+        for info in list_algorithms():
+            spec = RunSpec(
+                algorithm=info.name,
+                topology=BASE_TOPOLOGY,
+                machine=BASE_MACHINE,
+                msg_size=1024,
+            )
+            digests[info.name] = spec.digest()
+        assert "bruck" in digests
+        collisions = len(digests) - len(set(digests.values()))
+        assert collisions == 0, f"digest collisions across {sorted(digests)}"
+
+    def test_bruck_locality_kwarg_reaches_digest(self):
+        base = RunSpec("bruck", BASE_TOPOLOGY, BASE_MACHINE, 1024)
+        node = RunSpec(
+            "bruck", BASE_TOPOLOGY, BASE_MACHINE, 1024,
+            algorithm_kwargs=(("locality", "node"),),
+        )
+        assert base.digest() != node.digest()
+
+    def test_preexisting_digests_unchanged(self):
+        """Golden pin: adding the bruck backend and the capability registry
+        must not move any existing digest (cached results stay valid)."""
+        spec = RunSpec("naive", BASE_TOPOLOGY, BASE_MACHINE, 1024,
+                       options=RunOptions())
+        assert spec.digest() == GOLDEN_NAIVE_DIGEST

@@ -17,7 +17,7 @@ from repro.topology import (
 )
 from repro.spmm.matrices import synthetic_matrix
 
-ALGORITHMS = ("naive", "common_neighbor", "distance_halving", "hierarchical")
+ALGORITHMS = ("naive", "common_neighbor", "distance_halving", "hierarchical", "bruck")
 
 
 def machines():

@@ -52,7 +52,7 @@ class TestAllgatherPostcondition:
     @given(topology_and_machine(), st.sampled_from([0, 1, 64, 4096]))
     def test_random_topologies(self, tm, msg_size):
         topo, machine = tm
-        for name in ("naive", "common_neighbor", "distance_halving", "hierarchical"):
+        for name in ("naive", "common_neighbor", "distance_halving", "hierarchical", "bruck"):
             run = run_allgather(name, topo, machine, msg_size)
             verify_allgather(topo, run)
 
@@ -60,7 +60,7 @@ class TestAllgatherPostcondition:
     @given(adversarial_topology_and_machine())
     def test_adversarial_topologies(self, tm):
         topo, machine = tm
-        for name in ("naive", "common_neighbor", "distance_halving"):
+        for name in ("naive", "common_neighbor", "distance_halving", "bruck"):
             run = run_allgather(name, topo, machine, 64)
             verify_allgather(topo, run)
 

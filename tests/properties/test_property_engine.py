@@ -97,7 +97,7 @@ def test_exchange_is_deterministic(nodes, rps, seed):
 
 @settings(deadline=None, max_examples=10)
 @given(
-    st.sampled_from(["naive", "common_neighbor", "distance_halving"]),
+    st.sampled_from(["naive", "common_neighbor", "distance_halving", "bruck"]),
     st.integers(2, 4),
     st.floats(0.1, 0.6),
     st.integers(0, 1 << 16),

@@ -26,7 +26,7 @@ from repro.topology import erdos_renyi_topology
 MACHINE = Machine.single_switch(nodes=2, sockets_per_node=2, ranks_per_socket=2)
 TOPOLOGY = erdos_renyi_topology(8, 0.5, seed=11)
 
-ALGORITHMS = ("naive", "common_neighbor", "distance_halving")
+ALGORITHMS = ("naive", "common_neighbor", "distance_halving", "bruck")
 
 
 @st.composite

@@ -17,7 +17,7 @@ from repro.sim.engine import DeadlockError, Engine, RankFailedError
 from repro.sim.faults import FailureDetector, FaultPlan, RankCrash
 from repro.topology import erdos_renyi_topology
 
-ALGORITHMS = ("naive", "common_neighbor", "distance_halving")
+ALGORITHMS = ("naive", "common_neighbor", "distance_halving", "bruck")
 
 
 def small_machine():

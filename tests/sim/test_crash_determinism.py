@@ -16,7 +16,7 @@ from repro.exec.orchestrator import execute
 from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
 from repro.sim.faults import FailureDetector, FaultPlan, RankCrash
 
-ALGORITHMS = ("naive", "common_neighbor", "distance_halving")
+ALGORITHMS = ("naive", "common_neighbor", "distance_halving", "bruck")
 MODES = ("shrink", "degrade")
 
 

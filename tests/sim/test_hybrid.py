@@ -26,7 +26,12 @@ from repro.sim.fastpath import ANALYTIC_RTOL, batch_plan_for, execute_schedule
 from repro.sim.faults import FaultPlan, Straggler
 from repro.sim.schedule import analyze_contention, contention_free
 
-ALGORITHMS = [("naive", {}), ("common_neighbor", {"k": 4}), ("distance_halving", {})]
+ALGORITHMS = [
+    ("naive", {}),
+    ("common_neighbor", {"k": 4}),
+    ("distance_halving", {}),
+    ("bruck", {}),
+]
 
 
 def _build(n, nodes, density, seed=0, *, sockets=2, kind="random", **topo_kw):

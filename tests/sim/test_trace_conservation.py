@@ -36,7 +36,7 @@ GRID = [
     ),
 ]
 
-ALGORITHMS = ("naive", "common_neighbor", "distance_halving")
+ALGORITHMS = ("naive", "common_neighbor", "distance_halving", "bruck")
 
 
 def grid_specs() -> list[RunSpec]:

@@ -3,6 +3,7 @@
 import pytest
 
 import repro.bench.reporting as reporting
+from repro.bench.sweep import SMOKE_ALGORITHMS
 from repro.cli import FIGURES, build_parser, main
 
 
@@ -15,6 +16,10 @@ def isolated_results(tmp_path, monkeypatch):
 
 
 SMALL = ["--nodes", "2", "--ranks-per-socket", "2"]
+
+# Smoke-sweep grid size: every bench-enrolled algorithm x 2 densities x
+# 2 sizes (see repro.bench.sweep.smoke_sweep).
+SMOKE_SPECS = len(SMOKE_ALGORITHMS) * 2 * 2
 
 
 class TestParser:
@@ -117,7 +122,7 @@ class TestExecFlags:
         cache = tmp_path / "c1"
         assert main(["bench", "--sweep-smoke", "--cache-dir", str(cache)]) == 0
         out = capsys.readouterr().out
-        assert "12 computed" in out and "hit_rate=0.00" in out
+        assert f"{SMOKE_SPECS} computed" in out and "hit_rate=0.00" in out
 
     def test_sweep_smoke_warm_run_passes_hit_rate_gate(self, tmp_path, capsys):
         cache = tmp_path / "c2"
@@ -126,7 +131,7 @@ class TestExecFlags:
         assert main(["bench", "--sweep-smoke", "--cache-dir", str(cache),
                      "--workers", "2", "--min-cache-hit-rate", "0.9"]) == 0
         out = capsys.readouterr().out
-        assert "12 from cache" in out and "hit_rate=1.00" in out
+        assert f"{SMOKE_SPECS} from cache" in out and "hit_rate=1.00" in out
 
     def test_sweep_smoke_cold_run_fails_hit_rate_gate(self, tmp_path, capsys):
         cache = tmp_path / "c3"

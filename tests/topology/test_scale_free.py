@@ -41,7 +41,7 @@ class TestScaleFree:
 
     def test_allgather_correct(self, small_machine):
         topo = scale_free_topology(small_machine.spec.n_ranks, seed=2)
-        for alg in ("naive", "common_neighbor", "distance_halving"):
+        for alg in ("naive", "common_neighbor", "distance_halving", "bruck"):
             run = run_allgather(alg, topo, small_machine, 128)
             verify_allgather(topo, run)
 
@@ -60,6 +60,6 @@ class TestHubSpoke:
 
     def test_allgather_correct(self, small_machine):
         topo = hub_spoke_topology(small_machine.spec.n_ranks, hubs=3)
-        for alg in ("naive", "common_neighbor", "distance_halving"):
+        for alg in ("naive", "common_neighbor", "distance_halving", "bruck"):
             run = run_allgather(alg, topo, small_machine, 128)
             verify_allgather(topo, run)
