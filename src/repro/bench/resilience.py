@@ -116,6 +116,33 @@ def _case_spec(case: ResilienceCase, plan) -> RunSpec:
     )
 
 
+def build_study(
+    scale: BenchScale, smoke: bool = False, fault_seed: int = FAULT_SEED
+) -> list[tuple[ResilienceCase, RunSpec]]:
+    """The whole study as (case, spec) pairs, in report order.
+
+    Pure and cheap (no simulation): per grid cell, per algorithm, the
+    clean run first then every fault profile.  Each spec carries its
+    algorithm's registry ``bench_kwargs`` (via :func:`_case_spec`), so
+    the kwargs-threading audit test can assert the contract on the exact
+    specs the sweep will execute.
+    """
+    study: list[tuple[ResilienceCase, RunSpec]] = []
+    for ranks, density, msg_bytes in build_grid(scale, smoke=smoke):
+        profiles = resilience_profiles(ranks, seed=fault_seed)
+        for algorithm in ALGORITHMS:
+            for profile in ("clean", *(p for p in PROFILE_NAMES if p != "clean")):
+                case = ResilienceCase(
+                    algorithm, ranks, scale.ranks_per_socket, density,
+                    msg_bytes, profile,
+                )
+                spec = _case_spec(
+                    case, None if profile == "clean" else profiles[profile]
+                )
+                study.append((case, spec))
+    return study
+
+
 #: Orchestrator error prefixes that are resilience *outcomes*, not bugs.
 _EXPECTED_FAILURES = (
     ("SimTimeoutError", "timeout"),
@@ -182,24 +209,8 @@ def resilience_bench(
     """Run the resilience study; returns (and writes) the report payload."""
     cfg = config or SweepConfig()
     scale = cfg.resolve_scale(scale)
-    grid = build_grid(scale, smoke=smoke)
-
-    # Flatten the study into (case, spec) pairs in report order: per grid
-    # cell, per algorithm, the clean run first then every fault profile.
-    study: list[ResilienceCase] = []
-    specs: list[RunSpec] = []
-    for ranks, density, msg_bytes in grid:
-        profiles = resilience_profiles(ranks, seed=fault_seed)
-        for algorithm in ALGORITHMS:
-            for profile in ("clean", *(p for p in PROFILE_NAMES if p != "clean")):
-                case = ResilienceCase(
-                    algorithm, ranks, scale.ranks_per_socket, density,
-                    msg_bytes, profile,
-                )
-                study.append(case)
-                specs.append(_case_spec(
-                    case, None if profile == "clean" else profiles[profile]
-                ))
+    pairs = build_study(scale, smoke=smoke, fault_seed=fault_seed)
+    specs = [spec for _, spec in pairs]
 
     wall_start = time.perf_counter()
     sweep = cfg.run(specs)
@@ -210,10 +221,13 @@ def resilience_bench(
         p: {a: [] for a in ALGORITHMS} for p in PROFILE_NAMES if p != "clean"
     }
     clean_time: float | None = None
-    for case, outcome in zip(study, sweep.outcomes):
+    for (case, spec), outcome in zip(pairs, sweep.outcomes):
         record = _cell_record(
             case, outcome, None if case.profile == "clean" else clean_time
         )
+        # The kwargs the cell actually ran with — auditable against the
+        # registry's bench pins (tests/bench/test_resilience_kwargs.py).
+        record["algorithm_kwargs"] = dict(spec.algorithm_kwargs)
         cases.append(record)
         if case.profile == "clean":
             clean_time = record.get("simulated_time")
@@ -238,6 +252,9 @@ def resilience_bench(
         "topology_seed": FIG5_SEED,
         "fault_seed": fault_seed,
         "cn_k": CN_K,
+        "bench_kwargs": {
+            name: dict(algorithm_info(name).bench_kwargs) for name in ALGORITHMS
+        },
         "profiles": sorted(p for p in PROFILE_NAMES if p != "clean"),
         "algorithms": list(ALGORITHMS),
         "slowdown_geomean": summary,

@@ -25,6 +25,14 @@ Commands
     (on by default; ``--no-cache`` / ``--cache-dir`` control it) answers
     previously-computed cells without re-simulating.  Parallel and cached
     reruns are bit-identical to serial cold runs.
+``advise``
+    Adaptive selection (:mod:`repro.select`).  ``--algorithm`` resolves
+    ``algorithm="auto"`` for one described workload and prints the
+    extracted features, the decision-table ranking, and the model's
+    predicted crossovers; ``--distill`` rebuilds the decision table from
+    the analytic prior plus the (cached) empirical grid; ``--regret``
+    replays seeded fuzz scenarios under ``auto`` vs the oracle best and
+    gates the geomean regret (exit 1 on a gate failure).
 ``fuzz``
     Differential conformance fuzzer (:mod:`repro.verify`): random
     scenarios through every oracle-capable algorithm with metamorphic
@@ -184,6 +192,56 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--max-wall-seconds", type=float, default=None,
                          help="with --sweep-smoke/--paper-smoke: exit 1 if "
                               "the sweep's wall clock exceeds this budget")
+
+    adv_p = sub.add_parser(
+        "advise", help="adaptive algorithm selection (repro.select)")
+    mode = adv_p.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--algorithm", action="store_true",
+                      help="resolve algorithm=\"auto\" for one workload and "
+                           "explain the pick (features, ranking, crossovers)")
+    mode.add_argument("--distill", action="store_true",
+                      help="re-distill the decision table from the analytic "
+                           "prior plus the (cached) empirical sweep grid")
+    mode.add_argument("--regret", action="store_true",
+                      help="replay seeded fuzz scenarios under auto vs the "
+                           "oracle best; exit 1 if a gate fails")
+    _machine_args(adv_p)
+    adv_p.add_argument("--topology", choices=("random", "moore", "cartesian"),
+                       default="random")
+    adv_p.add_argument("--density", type=float, default=0.3)
+    adv_p.add_argument("--radius", type=int, default=1)
+    adv_p.add_argument("--dims", type=int, default=2)
+    adv_p.add_argument("--seed", type=int, default=0,
+                       help="topology seed (--algorithm) or scenario "
+                            "campaign seed (--regret)")
+    adv_p.add_argument("--msg", default="4KB",
+                       help="message size for --algorithm (e.g. 64, 4KB)")
+    adv_p.add_argument("--faults", choices=PROFILE_NAMES, default=None,
+                       help="resolve under a named fault profile "
+                            "(--algorithm); restricts the candidate walk "
+                            "to survivable algorithms")
+    adv_p.add_argument("--workers", type=int, default=1,
+                       help="process-pool width for --distill")
+    adv_p.add_argument("--cache-dir", default=None,
+                       help="result-cache directory for --distill (shares "
+                            "cells with the bench sweep cache)")
+    adv_p.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache for --distill")
+    adv_p.add_argument("--out", default=None,
+                       help="output path (--distill: table JSON, default "
+                            "selection_table.json; --regret: report JSON, "
+                            "default none)")
+    adv_p.add_argument("--table", default=None,
+                       help="decision-table JSON to resolve against "
+                            "(default: $REPRO_SELECT_TABLE or the packaged "
+                            "table)")
+    adv_p.add_argument("--scenarios", type=int, default=120,
+                       help="scenario count for --regret (default 120)")
+    adv_p.add_argument("--profile", choices=FUZZ_PROFILES, default="clean",
+                       help="scenario profile for --regret")
+    adv_p.add_argument("--max-regret", type=float, default=1.10,
+                       help="geomean regret gate for --regret (default "
+                            "1.10; pass inf to gate only on survivability)")
 
     fuzz_p = sub.add_parser(
         "fuzz", help="differential conformance fuzzer (repro.verify)")
@@ -537,6 +595,126 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_advise(args) -> int:
+    if args.distill:
+        return _advise_distill(args)
+    if args.regret:
+        return _advise_regret(args)
+    return _advise_algorithm(args)
+
+
+def _advise_algorithm(args) -> int:
+    from repro.collectives import RunOptions
+    from repro.collectives.base import SETUP_FREE_FALLBACK
+    from repro.cluster.calibration import calibrate
+    from repro.model import crossover_density, crossover_size
+    from repro.model.crossover import model_params_for
+    from repro.select import DecisionTable, select
+    from repro.sim.faults import get_profile
+
+    machine = _machine(args)
+    n = machine.spec.n_ranks
+    topology = _build_topology(args, n)
+    table = DecisionTable.load(args.table) if args.table else None
+
+    options = None
+    if args.faults:
+        fault_plan = get_profile(args.faults, n, seed=args.seed)
+        options = RunOptions(
+            fault_plan=fault_plan,
+            fallback=SETUP_FREE_FALLBACK,
+            on_failure=CRASH_PROFILE_MODES.get(args.faults, "abort"),
+        )
+        print(f"faults   : {args.faults} ({fault_plan.describe()})")
+
+    selection = select(topology, machine, args.msg, options, table=table)
+    feats = selection.features
+    print(f"machine  : {machine.describe()}")
+    print(f"topology : {topology!r}")
+    print(f"workload : {feats.describe()}")
+    print(f"key      : {feats.key()} (source={selection.source}, "
+          f"table={selection.table_version})")
+    print(f"ranking  : {' > '.join(selection.ranking)}")
+    if selection.rejected:
+        print(f"rejected : {', '.join(selection.rejected)} "
+              "(setup not survivable under the fault plan)")
+    kwargs = dict(selection.kwargs)
+    suffix = f" {kwargs}" if kwargs else ""
+    print(f"advice   : {selection.algorithm}{suffix}")
+
+    fit = calibrate(machine)
+    params = model_params_for(
+        n=n,
+        sockets=machine.spec.nodes * machine.spec.sockets_per_node,
+        ranks_per_socket=machine.spec.ranks_per_socket,
+        alpha=fit.alpha,
+        beta=fit.beta,
+    )
+    msg_bytes = feats.mean_bytes
+    dens_x = crossover_density(params, msg_bytes)
+    size_x = crossover_size(params, feats.density)
+    dens_str = f"delta >= {dens_x:.3f}" if dens_x is not None else "never"
+    size_str = (f"m >= {format_size(size_x)}" if size_x is not None
+                else "never")
+    print(f"model    : DH beats naive at {dens_str} "
+          f"(m={format_size(int(msg_bytes))}); at {size_str} "
+          f"(delta={feats.density:.3f})")
+    return 0
+
+
+def _advise_distill(args) -> int:
+    from repro.bench.config import SweepConfig
+    from repro.select import distill
+
+    config = SweepConfig(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    table = distill(config)
+    out = args.out or "selection_table.json"
+    table.save(out)
+    empirical = sum(
+        1 for e in table.entries.values() if e.source == "empirical"
+    )
+    print(f"distilled table {table.version}: {len(table.entries)} keys, "
+          f"{empirical} empirical, "
+          f"{table.provenance['grid']['cells']} grid cells -> {out}")
+    return 0
+
+
+def _advise_regret(args) -> int:
+    import json
+
+    from repro.select import (
+        DecisionTable,
+        check_gates,
+        generate_scenarios,
+        regret_report,
+    )
+
+    table = DecisionTable.load(args.table) if args.table else None
+    scenarios = generate_scenarios(args.seed, args.scenarios, args.profile)
+    report = regret_report(scenarios, table)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    print(f"regret: {report['scenarios']} scenarios "
+          f"(profile={args.profile}, seed={args.seed}, "
+          f"table={report['table_version']})")
+    print(f"  geomean={report['geomean_regret']:.4f} "
+          f"max={report['max_regret']:.4f} "
+          f"non_survivable_picks={report['non_survivable_picks']}")
+    for record in report["worst"]:
+        print(f"  worst: {record['label']} regret={record['regret']:.3f} "
+              f"(picked {record['selected']}, best {record['best']})")
+    failures = check_gates(report, max_geomean_regret=args.max_regret)
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def cmd_fuzz(args) -> int:
     from repro.verify import fuzz, replay_file
 
@@ -608,6 +786,7 @@ _COMMANDS = {
     "analyze": cmd_analyze,
     "spmm": cmd_spmm,
     "bench": cmd_bench,
+    "advise": cmd_advise,
     "fuzz": cmd_fuzz,
     "chaos": cmd_chaos,
 }

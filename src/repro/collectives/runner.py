@@ -269,6 +269,10 @@ class AllgatherRun:
     #: {"mode", "rounds", "replan_messages", "time_to_recover"}; None for
     #: runs that never recovered (including clean ones).
     recovery: dict[str, Any] | None = None
+    #: the algorithm ``algorithm="auto"`` resolved to (the adaptive
+    #: selector's pick, see :mod:`repro.select`); None for runs that named
+    #: their algorithm directly.
+    selected_algorithm: str | None = None
 
     @property
     def fallback_used(self) -> bool:
@@ -337,6 +341,20 @@ def run_allgather(
             "(or use repro.exec.RunSpec)"
         )
     opts = options if options is not None else DEFAULT_OPTIONS
+    if isinstance(algorithm, str) and algorithm == "auto":
+        # Adaptive selection: resolve against the active decision table
+        # (deferred import — repro.select depends on this module).  The
+        # selection's instance is already set up when a fault plan forced
+        # a survivability walk, so the recursive call pays setup once.
+        from repro.select.selector import select
+
+        selection = select(topology, machine, msg_size, opts)
+        run = run_allgather(
+            selection.instance, topology, machine, msg_size,
+            options=opts, payloads=payloads,
+        )
+        run.selected_algorithm = selection.algorithm
+        return run
     if isinstance(algorithm, str):
         algorithm = get_algorithm(algorithm)
 

@@ -22,7 +22,8 @@ from repro.collectives.runner import AllgatherRun
 #: cache salt so stale entries are recomputed, never misread).
 #: v2: slim runs carry ``trace_summary`` (per-class conservation aggregates).
 #: v3: slim runs carry ``missing_ranks`` + ``recovery`` (fail-stop faults).
-FORMAT_VERSION = 3
+#: v4: slim runs carry ``selected_algorithm`` (adaptive ``"auto"`` picks).
+FORMAT_VERSION = 4
 
 #: Run fields excluded from the determinism contract (host-dependent).
 WALL_CLOCK_FIELDS = ("wall_time",)
@@ -73,6 +74,7 @@ def run_to_dict(run: AllgatherRun) -> dict:
         "sim_path": run.sim_path,
         "missing_ranks": list(run.missing_ranks),
         "recovery": _jsonable(run.recovery),
+        "selected_algorithm": run.selected_algorithm,
     }
 
 
@@ -111,4 +113,5 @@ def run_from_dict(data: dict) -> AllgatherRun:
         sim_path=data.get("sim_path", "des"),
         missing_ranks=tuple(data.get("missing_ranks", ())),
         recovery=data.get("recovery"),
+        selected_algorithm=data.get("selected_algorithm"),
     )

@@ -222,17 +222,46 @@ class RunSpec:
     msg_size: int | tuple[int, ...]
     algorithm_kwargs: tuple[tuple[str, Any], ...] = ()
     options: RunOptions = field(default=DEFAULT_OPTIONS)
+    #: content version of the decision table ``algorithm="auto"`` resolves
+    #: against — auto-filled from the active table at construction, so the
+    #: table is part of the spec's content address (two specs under
+    #: different tables are different simulations).  Always ``None`` (and
+    #: omitted from the digest) for directly named algorithms.
+    selector_table: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "msg_size", _normalize_msg_size(self.msg_size))
         object.__setattr__(
             self, "algorithm_kwargs", _normalize_kwargs(self.algorithm_kwargs)
         )
+        if self.algorithm == "auto":
+            if self.algorithm_kwargs:
+                raise ValueError(
+                    "algorithm='auto' takes no algorithm_kwargs: the "
+                    "decision table supplies each candidate's constructor "
+                    "arguments"
+                )
+            if self.selector_table is None:
+                from repro.select.table import active_table_version
+
+                object.__setattr__(
+                    self, "selector_table", active_table_version()
+                )
+        elif self.selector_table is not None:
+            raise ValueError(
+                "selector_table is only meaningful with algorithm='auto'"
+            )
 
     # ------------------------------------------------------------- identity
     def canonical(self) -> dict:
-        """Fully resolved JSON-safe description; field order is stable."""
-        return {
+        """Fully resolved JSON-safe description; field order is stable.
+
+        ``selector_table`` appears only for ``algorithm="auto"`` specs
+        (same omit-the-default pattern as ``TopologySpec.self_loops``), so
+        every pre-existing digest of a directly named algorithm is
+        unchanged.
+        """
+        data = {
             "algorithm": self.algorithm,
             "algorithm_kwargs": [list(pair) for pair in self.algorithm_kwargs],
             "topology": self.topology.canonical(),
@@ -243,6 +272,9 @@ class RunSpec:
             ),
             "options": self.options.canonical(),
         }
+        if self.selector_table is not None:
+            data["selector_table"] = self.selector_table
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSpec":
@@ -257,6 +289,7 @@ class RunSpec:
                 (k, v) for k, v in data.get("algorithm_kwargs", ())
             ),
             options=RunOptions.from_dict(data.get("options", {})),
+            selector_table=data.get("selector_table"),
         )
 
     def to_json(self) -> str:
@@ -284,6 +317,11 @@ class RunSpec:
         """Materialize (algorithm instance, topology, machine)."""
         from repro.collectives.base import get_algorithm
 
+        if self.algorithm == "auto":
+            raise ValueError(
+                "algorithm='auto' has no instance until selection runs: "
+                "call RunSpec.run(), or resolve with repro.select.select()"
+            )
         algorithm = get_algorithm(self.algorithm, **dict(self.algorithm_kwargs))
         return algorithm, self.topology.build(), self.machine.build()
 
@@ -291,7 +329,24 @@ class RunSpec:
         """Simulate this spec (deterministic; safe in worker processes)."""
         from repro.collectives.runner import run_allgather
 
-        algorithm, topology, machine = self.build()
         msg = list(self.msg_size) if isinstance(self.msg_size, tuple) else self.msg_size
+        if self.algorithm == "auto":
+            # The digest pins the table this spec was built under; resolving
+            # against any other table would silently break the
+            # content-address -> result contract, so fail loudly instead.
+            from repro.select.table import active_table_version
+
+            active = active_table_version()
+            if active != self.selector_table:
+                raise RuntimeError(
+                    f"spec was built under decision table "
+                    f"{self.selector_table!r} but the active table is "
+                    f"{active!r}; point REPRO_SELECT_TABLE (or use_table) "
+                    "at the spec's table to replay it"
+                )
+            return run_allgather("auto", self.topology.build(),
+                                 self.machine.build(), msg,
+                                 options=self.options)
+        algorithm, topology, machine = self.build()
         return run_allgather(algorithm, topology, machine, msg,
                              options=self.options)

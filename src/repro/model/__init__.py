@@ -15,9 +15,19 @@ from repro.model.equations import (
     naive_total_time,
 )
 from repro.model.comparison import ModelComparison, model_grid
+from repro.model.crossover import (
+    analytic_ranking,
+    crossover_density,
+    crossover_size,
+    predicted_times,
+)
 from repro.model.validation import ModelValidation, validate_model
 
 __all__ = [
+    "analytic_ranking",
+    "crossover_density",
+    "crossover_size",
+    "predicted_times",
     "ModelValidation",
     "validate_model",
     "ModelParams",

@@ -1,0 +1,48 @@
+"""Adaptive algorithm selection (``algorithm="auto"``).
+
+The paper's core claim is that the right neighborhood-allgather algorithm
+is conditional on topology and load.  This package operationalizes that
+claim: a transparent, versioned decision table (distilled from the
+Hockney-model crossovers plus cached sweep results) maps workload
+features to a candidate ranking, and a selector resolves
+``algorithm="auto"`` against it — restricted to survivable candidates
+when a fault plan is in play.  See docs/ARCHITECTURE.md §8.
+"""
+
+from repro.select.features import WorkloadFeatures, extract_features
+from repro.select.selector import Selection, candidates_for, select
+from repro.select.table import (
+    DecisionTable,
+    TableEntry,
+    active_table,
+    active_table_version,
+    default_table,
+    use_table,
+)
+from repro.select.distill import distill, table_candidates
+from repro.select.regret import (
+    check_gates,
+    evaluate_scenario,
+    generate_scenarios,
+    regret_report,
+)
+
+__all__ = [
+    "DecisionTable",
+    "Selection",
+    "TableEntry",
+    "WorkloadFeatures",
+    "active_table",
+    "active_table_version",
+    "candidates_for",
+    "check_gates",
+    "default_table",
+    "distill",
+    "evaluate_scenario",
+    "extract_features",
+    "generate_scenarios",
+    "regret_report",
+    "select",
+    "table_candidates",
+    "use_table",
+]

@@ -1,0 +1,221 @@
+"""Workload feature extraction for adaptive algorithm selection.
+
+The decision table (:mod:`repro.select.table`) keys on a small, closed
+vocabulary of workload *buckets* rather than raw parameters, so one
+distilled cell generalizes to every workload that lands in the same
+bucket.  Everything here is a pure function of the live objects a run
+already has in hand — the built topology, the machine spec, the message
+size, and the :class:`~repro.collectives.runner.RunOptions` — so the
+same workload always extracts the same key no matter which process (or
+cache state) resolves it.
+
+The key dimensions follow the paper's own conditioning variables:
+
+* *scale* — communicator size ``n`` (the paper's per-scale switching);
+* *density* — directed edge probability ``delta`` (Fig. 2's x-axis);
+* *degree shape* — a coarse topology-isomorphism-class proxy (regular
+  grids vs Erdős–Rényi vs hub-dominated scale-free graphs behave
+  differently under neighborhood offloading);
+* *message size* — latency- vs bandwidth-dominated regimes;
+* *fault class* — whether a fault plan perturbs the run, can starve a
+  setup negotiation (``"risky"``), or fail-stops ranks (``"crash"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.faults import FaultPlan
+from repro.utils.sizes import parse_size
+
+#: Bucket vocabularies, in ascending order (closed sets: the distiller
+#: enumerates their product, so the shipped table covers every key).
+SCALE_BUCKETS = ("xs", "s", "m", "l", "xl", "paper")
+DENSITY_BUCKETS = ("empty", "sparse", "low", "mid", "high", "full")
+SHAPE_BUCKETS = ("regular", "mixed", "hub")
+MSG_BUCKETS = ("zero", "lat", "mid", "bw")
+FAULT_CLASSES = ("clean", "perturbed", "risky", "crash")
+
+#: Upper bounds (inclusive) for the scale buckets, paired with
+#: representative sizes the analytic prior evaluates a bucket at.
+_SCALE_EDGES = ((8, "xs"), (16, "s"), (32, "m"), (128, "l"), (512, "xl"))
+#: (upper bound, bucket) for density; "empty" is exactly zero.
+_DENSITY_EDGES = ((0.08, "sparse"), (0.2, "low"), (0.45, "mid"), (0.75, "high"))
+#: (upper bound in bytes, bucket) for message size; "zero" is exactly zero.
+_MSG_EDGES = ((256, "lat"), (8192, "mid"))
+
+#: Representative raw values per bucket, used when the analytic prior
+#: must price a bucket without a concrete workload in hand.
+SCALE_REPRESENTATIVE = {
+    "xs": 8, "s": 16, "m": 32, "l": 128, "xl": 512, "paper": 2160,
+}
+DENSITY_REPRESENTATIVE = {
+    "empty": 0.0, "sparse": 0.05, "low": 0.15, "mid": 0.3,
+    "high": 0.6, "full": 0.9,
+}
+MSG_REPRESENTATIVE = {"zero": 0, "lat": 64, "mid": 4096, "bw": 65536}
+
+#: Conservative upper bound on setup control messages, as a function of
+#: communicator size, used to classify a fault plan as ``"risky"`` before
+#: any algorithm has been set up.  Every shipped backend negotiates at
+#: most O(n * degree) <= n^2 control messages; the factor 4 keeps the
+#: classification conservative (over-classifying as risky only restricts
+#: selection to setup-free candidates — it can never pick an unsafe one).
+def setup_message_bound(n: int) -> int:
+    return max(1, 4 * n * n)
+
+
+def scale_bucket(n: int) -> str:
+    for edge, bucket in _SCALE_EDGES:
+        if n <= edge:
+            return bucket
+    return "paper"
+
+
+def density_bucket(density: float) -> str:
+    if density <= 0.0:
+        return "empty"
+    for edge, bucket in _DENSITY_EDGES:
+        if density < edge:
+            return bucket
+    return "full" if density >= 0.75 else "high"
+
+
+def msg_bucket(mean_bytes: float) -> str:
+    if mean_bytes <= 0:
+        return "zero"
+    for edge, bucket in _MSG_EDGES:
+        if mean_bytes <= edge:
+            return bucket
+    return "bw"
+
+
+def fault_class(plan: FaultPlan | None, n: int) -> str:
+    """Which selection regime a fault plan puts the workload in.
+
+    ``"risky"`` means the plan's peak loss probability could starve a
+    setup negotiation of :func:`setup_message_bound` control messages —
+    the same ``N * p**(retries+1) >= 1`` rule as
+    :meth:`~repro.sim.faults.FaultPlan.setup_survivable`, evaluated at a
+    conservative bound since the concrete algorithm (and its protocol
+    message count) has not been chosen yet.  Risky dominates crash:
+    a plan that can kill setup constrains the candidate set regardless
+    of what else it does.
+    """
+    if plan is None or plan.is_noop():
+        return "clean"
+    if not plan.setup_survivable(setup_message_bound(n)):
+        return "risky"
+    if plan.crashes:
+        return "crash"
+    return "perturbed"
+
+
+def degree_shape(out_degrees: list[int], in_degrees: list[int]) -> str:
+    """Coarse isomorphism-class proxy from the degree sequences.
+
+    ``"regular"`` — every rank has the same in- and out-degree (Moore and
+    Cartesian stencils, complete graphs); ``"hub"`` — the maximum degree
+    is at least three times the mean (scale-free hubs dominate the
+    makespan); ``"mixed"`` — everything else (typical Erdős–Rényi).
+    """
+    if not out_degrees:
+        return "regular"
+    if len(set(out_degrees)) == 1 and len(set(in_degrees)) == 1:
+        return "regular"
+    mean_out = sum(out_degrees) / len(out_degrees)
+    if mean_out > 0 and max(out_degrees) >= 3.0 * mean_out:
+        return "hub"
+    return "mixed"
+
+
+@dataclass(frozen=True)
+class WorkloadFeatures:
+    """Extracted features plus the raw values they were bucketed from."""
+
+    n_ranks: int
+    ranks_per_socket: int
+    sockets_per_node: int
+    density: float
+    mean_bytes: float
+    scale: str
+    density_class: str
+    shape: str
+    msg_class: str
+    fault: str
+
+    def key(self) -> str:
+        """The decision-table key (fault class is a selection-time rule,
+        not a table dimension — see :mod:`repro.select.selector`)."""
+        return "/".join((self.scale, self.density_class, self.shape,
+                         self.msg_class))
+
+    def describe(self) -> str:
+        return (
+            f"n={self.n_ranks} (scale={self.scale}) "
+            f"delta={self.density:.3f} ({self.density_class}) "
+            f"shape={self.shape} m~{self.mean_bytes:.0f}B "
+            f"({self.msg_class}) fault={self.fault}"
+        )
+
+
+def all_keys() -> tuple[str, ...]:
+    """Every possible table key, in vocabulary order (a closed set)."""
+    return tuple(
+        "/".join((s, d, sh, m))
+        for s in SCALE_BUCKETS
+        for d in DENSITY_BUCKETS
+        for sh in SHAPE_BUCKETS
+        for m in MSG_BUCKETS
+    )
+
+
+def split_key(key: str) -> tuple[str, str, str, str]:
+    """Inverse of :meth:`WorkloadFeatures.key` (validates the vocabulary)."""
+    parts = tuple(key.split("/"))
+    if len(parts) != 4:
+        raise ValueError(f"malformed table key {key!r}")
+    scale, dens, shape, msg = parts
+    if (scale not in SCALE_BUCKETS or dens not in DENSITY_BUCKETS
+            or shape not in SHAPE_BUCKETS or msg not in MSG_BUCKETS):
+        raise ValueError(f"table key {key!r} outside the bucket vocabulary")
+    return parts
+
+
+def extract_features(topology, machine_spec, msg_size, options) -> WorkloadFeatures:
+    """Features of one live workload (pure; deterministic).
+
+    ``topology`` is a built
+    :class:`~repro.topology.graph.DistGraphTopology`; ``machine_spec`` a
+    :class:`~repro.exec.spec.MachineSpec` or anything exposing
+    ``ranks_per_socket`` / ``sockets_per_node``; ``msg_size`` any form
+    :func:`~repro.collectives.runner.run_allgather` accepts (int, size
+    string, or an allgatherv block list — bucketed by its mean block).
+    """
+    n = topology.n
+    out_degrees = [len(topology.out_neighbors(r)) for r in range(n)]
+    in_degrees = [len(topology.in_neighbors(r)) for r in range(n)]
+    # Self-loops are local copies, not traffic: exclude them from density.
+    loops = sum(1 for r in range(n) if topology.has_edge(r, r))
+    edges = sum(out_degrees) - loops
+    density = edges / (n * (n - 1)) if n > 1 else 0.0
+
+    if isinstance(msg_size, (list, tuple)):
+        sizes = [parse_size(s) for s in msg_size]
+        mean_bytes = sum(sizes) / len(sizes) if sizes else 0.0
+    else:
+        mean_bytes = float(parse_size(msg_size))
+
+    plan = options.fault_plan if options is not None else None
+    return WorkloadFeatures(
+        n_ranks=n,
+        ranks_per_socket=machine_spec.ranks_per_socket,
+        sockets_per_node=machine_spec.sockets_per_node,
+        density=density,
+        mean_bytes=mean_bytes,
+        scale=scale_bucket(n),
+        density_class=density_bucket(density),
+        shape=degree_shape(out_degrees, in_degrees),
+        msg_class=msg_bucket(mean_bytes),
+        fault=fault_class(plan, n),
+    )

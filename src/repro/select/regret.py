@@ -1,0 +1,194 @@
+"""Regret validation: how close does ``algorithm="auto"`` get to the oracle?
+
+The harness replays seeded fuzz scenarios (:mod:`repro.verify.generators`)
+three ways: once under ``algorithm="auto"`` (the production resolution
+path, through :class:`~repro.exec.RunSpec`), and once per registered
+candidate on the *same* scenario.  Per-scenario regret is
+``t_auto / t_best`` — 1.0 means the selector picked the oracle best.
+
+The acceptance gates (CI's ``selection-smoke`` job and the pinned
+``BENCH_selection.json`` artifact both use :func:`check_gates`):
+
+* geomean regret ≤ 1.10 on the clean profile;
+* zero non-survivable picks under fault profiles — an ``auto`` run must
+  never trip the graceful-degradation fallback (``fallback_used``) or
+  die outright, because the selector's survivability walk is supposed to
+  have rejected such candidates *before* the run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.exec.spec import RunSpec
+from repro.select.table import DecisionTable, active_table, use_table
+from repro.verify.generators import Scenario, ScenarioConfig, generate_scenario
+
+
+def generate_scenarios(
+    seed: int, count: int, profile: str = "clean"
+) -> list[Scenario]:
+    """``count`` regret scenarios — fuzz draws with tracing stripped.
+
+    Tracing is the fuzzer's concern (conservation oracles); the regret
+    harness only compares makespans, and trace-free runs are several
+    times faster, so the whole ≥100-scenario gate fits a CI budget.
+    """
+    config = ScenarioConfig(profile=profile)
+    scenarios = []
+    for i in range(count):
+        drawn = generate_scenario(seed, i, config)
+        scenarios.append(
+            drawn.with_(options=replace(drawn.options, trace=False))
+        )
+    return scenarios
+
+
+@dataclass(frozen=True)
+class ScenarioRegret:
+    """One scenario's outcome under auto vs the full candidate field."""
+
+    scenario: Scenario
+    selected: str | None
+    auto_time: float
+    candidate_times: dict[str, float]
+    best: str | None
+    regret: float
+    fallback_used: bool
+    error: str | None = None
+
+    @property
+    def violation(self) -> bool:
+        """A non-survivable pick: auto degraded mid-run or died."""
+        return self.fallback_used or self.error is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "label": self.scenario.label(),
+            "selected": self.selected,
+            "auto_time": self.auto_time,
+            "candidate_times": dict(sorted(self.candidate_times.items())),
+            "best": self.best,
+            "regret": self.regret,
+            "fallback_used": self.fallback_used,
+            "error": self.error,
+        }
+
+
+def evaluate_scenario(scenario: Scenario) -> ScenarioRegret:
+    """Run one scenario under auto and every candidate of the active table."""
+    table = active_table()
+
+    candidate_times: dict[str, float] = {}
+    for name, kwargs in table.candidates:
+        spec = RunSpec(
+            algorithm=name,
+            topology=scenario.topology,
+            machine=scenario.machine,
+            msg_size=scenario.msg_size,
+            algorithm_kwargs=kwargs,
+            options=scenario.options,
+        )
+        try:
+            candidate_times[name] = spec.run().simulated_time
+        except Exception:
+            candidate_times[name] = math.inf
+
+    finite = {n: t for n, t in candidate_times.items() if math.isfinite(t)}
+    best = min(finite, key=lambda n: finite[n]) if finite else None
+
+    selected = None
+    fallback_used = False
+    error = None
+    auto_time = math.inf
+    try:
+        run = scenario.spec_for("auto").run()
+        selected = run.selected_algorithm
+        fallback_used = run.fallback_used
+        auto_time = run.simulated_time
+    except Exception as exc:  # a dead auto run is itself a violation
+        error = f"{type(exc).__name__}: {exc}"
+
+    if best is None or not math.isfinite(auto_time):
+        regret = math.inf
+    elif finite[best] == 0.0:
+        regret = 1.0 if auto_time == 0.0 else math.inf
+    else:
+        regret = auto_time / finite[best]
+
+    return ScenarioRegret(
+        scenario=scenario,
+        selected=selected,
+        auto_time=auto_time,
+        candidate_times=candidate_times,
+        best=best,
+        regret=regret,
+        fallback_used=fallback_used,
+        error=error,
+    )
+
+
+def regret_report(
+    scenarios: list[Scenario],
+    table: DecisionTable | None = None,
+) -> dict[str, Any]:
+    """Evaluate every scenario, returning the JSON-safe regret report.
+
+    ``table`` overrides the active table for the whole evaluation (the
+    override is installed for the duration and restored afterwards, so
+    the spec digests and the resolution agree on the table version).
+    """
+    if table is not None:
+        use_table(table)
+    try:
+        resolved = active_table()
+        results = [evaluate_scenario(s) for s in scenarios]
+    finally:
+        if table is not None:
+            use_table(None)
+
+    finite = [r.regret for r in results if math.isfinite(r.regret)]
+    geomean = (
+        math.exp(sum(math.log(x) for x in finite) / len(finite))
+        if finite else math.inf
+    )
+    violations = [r for r in results if r.violation]
+    worst = sorted(
+        (r for r in results if math.isfinite(r.regret)),
+        key=lambda r: r.regret,
+        reverse=True,
+    )
+    return {
+        "experiment": "selection_regret",
+        "table_version": resolved.version,
+        "scenarios": len(results),
+        "profiles": sorted({s.profile for s in scenarios}),
+        "geomean_regret": geomean,
+        "max_regret": max(finite) if finite else math.inf,
+        "non_survivable_picks": len(violations),
+        "violations": [r.to_dict() for r in violations],
+        "worst": [r.to_dict() for r in worst[:3]],
+        "records": [r.to_dict() for r in results],
+    }
+
+
+def check_gates(
+    report: dict[str, Any], max_geomean_regret: float = 1.10
+) -> list[str]:
+    """The acceptance gates, as a list of human-readable failures."""
+    failures = []
+    geomean = report["geomean_regret"]
+    if not (geomean <= max_geomean_regret):
+        failures.append(
+            f"geomean regret {geomean:.4f} exceeds the "
+            f"{max_geomean_regret:.2f} gate"
+        )
+    if report["non_survivable_picks"]:
+        failures.append(
+            f"{report['non_survivable_picks']} scenario(s) selected a "
+            "non-survivable algorithm (fallback_used or dead run)"
+        )
+    return failures

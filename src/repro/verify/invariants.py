@@ -63,6 +63,14 @@ The catalog (see ``docs/ARCHITECTURE.md`` §6 for the full rationale):
     agent/origin per rank per level, agents always in the opposite half
     of the searcher's interval, and ``recv_for_me`` consistent with the
     incoming buffer and the topology.
+``auto_selection``
+    Re-runs the trial under ``algorithm="auto"`` (:mod:`repro.select`):
+    the resolved pick must come from the fault class's registry candidate
+    set, must never trip the graceful-degradation fallback (the selector's
+    survivability walk is supposed to reject such candidates up front),
+    must satisfy the MPI post-condition, and — when the selection's
+    constructor kwargs match the differential run's defaults — must cost
+    exactly what the directly-named run of the same algorithm cost.
 """
 
 from __future__ import annotations
@@ -91,6 +99,7 @@ INVARIANTS = (
     "payload_independence",
     "hybrid_equivalence",
     "dh_structure",
+    "auto_selection",
 )
 
 
@@ -784,6 +793,77 @@ def check_dh_structure(
     return violations
 
 
+def check_auto_selection(
+    scenario: "Scenario",
+    topology: "DistGraphTopology",
+    runs: dict[str, "AllgatherRun"],
+) -> list[Violation]:
+    """``algorithm="auto"`` picks a legal, survivable, correct candidate.
+
+    The time-equality half fires only when the selection's constructor
+    kwargs are the candidate's defaults (what the differential runs used)
+    and the directly-named run did not itself degrade — then the auto run
+    must be bit-identical in cost to that run.
+    """
+    import inspect
+
+    from repro.collectives.base import algorithm_info
+    from repro.select import candidates_for, extract_features, select
+
+    violations: list[Violation] = []
+    try:
+        run = scenario.spec_for("auto").run()
+    except Exception as exc:  # noqa: BLE001 - a dead auto run is a finding
+        return [Violation(
+            "auto_selection", None,
+            f"auto run raised {type(exc).__name__}: {exc}",
+        )]
+    features = extract_features(
+        topology, scenario.machine, scenario.msg_size, scenario.options
+    )
+    allowed = candidates_for(features.fault)
+    if run.selected_algorithm not in allowed:
+        violations.append(Violation(
+            "auto_selection", run.selected_algorithm,
+            f"selected {run.selected_algorithm!r} outside the fault class "
+            f"{features.fault!r} candidate set {allowed}",
+        ))
+    if run.fallback_used:
+        violations.append(Violation(
+            "auto_selection", run.selected_algorithm,
+            f"auto pick {run.requested_algorithm!r} was not survivable: the "
+            f"run degraded to {run.algorithm!r} — the survivability walk "
+            "should have rejected it",
+        ))
+    try:
+        verify_allgather(topology, run, allow_missing=run.missing_ranks)
+    except VerificationError as exc:
+        violations.append(Violation(
+            "auto_selection", run.selected_algorithm,
+            f"auto run fails the MPI post-condition: {exc}", exc.as_dict(),
+        ))
+    base = runs.get(run.selected_algorithm or "")
+    if base is not None and not base.fallback_used and not run.fallback_used:
+        selection = select(
+            topology, scenario.machine.build(), scenario.msg_size,
+            scenario.options,
+        )
+        sig = inspect.signature(algorithm_info(selection.algorithm).cls.__init__)
+        defaults = all(
+            k in sig.parameters and sig.parameters[k].default == v
+            for k, v in selection.kwargs
+        )
+        if defaults and run.simulated_time != base.simulated_time:
+            violations.append(Violation(
+                "auto_selection", run.selected_algorithm,
+                f"auto run of {run.selected_algorithm!r} cost "
+                f"{run.simulated_time!r} but the directly-named run cost "
+                f"{base.simulated_time!r} (must be bit-identical)",
+                {"auto": run.simulated_time, "named": base.simulated_time},
+            ))
+    return violations
+
+
 # --------------------------------------------------------------------------
 # dispatcher
 # --------------------------------------------------------------------------
@@ -814,6 +894,10 @@ def run_invariants(
         violations += check_dh_structure(scenario, topology)
     if metamorphic and crashy:
         violations += check_crash_agreement(scenario, runs)
+    if metamorphic:
+        # every profile: the adaptive selector must behave under clean,
+        # perturbed, and crash plans alike
+        violations += check_auto_selection(scenario, topology, runs)
     if metamorphic and clean:
         violations += check_size_monotonicity(scenario, runs)
         violations += check_relabel_conservation(scenario, topology, runs)

@@ -1,0 +1,57 @@
+"""Kwargs-threading audit for the resilience study.
+
+Every row of ``repro bench --resilience`` must run its algorithm with
+exactly the registry's ``bench_kwargs`` pin — a row that silently falls
+back to another algorithm's tuning (or to defaults) would corrupt the
+cross-algorithm slowdown comparison.  The audit runs on
+:func:`repro.bench.resilience.build_study`'s specs (cheap, no
+simulation) and on a real smoke report's recorded rows.
+"""
+
+from repro.bench.config import get_scale
+from repro.bench.resilience import ALGORITHMS, build_study, resilience_bench
+from repro.collectives.base import algorithm_info
+
+
+class TestStudySpecs:
+    def test_every_spec_carries_the_registry_bench_kwargs(self):
+        study = build_study(get_scale("small"), smoke=False)
+        assert study, "empty study grid"
+        for case, spec in study:
+            expected = tuple(algorithm_info(case.algorithm).bench_kwargs)
+            assert spec.algorithm == case.algorithm
+            assert tuple(spec.algorithm_kwargs) == expected, (
+                f"{case.label()} runs with {spec.algorithm_kwargs!r}, "
+                f"registry pins {expected!r}"
+            )
+
+    def test_study_covers_every_bench_algorithm(self):
+        study = build_study(get_scale("small"), smoke=True)
+        assert {case.algorithm for case, _ in study} == set(ALGORITHMS)
+
+    def test_tuned_and_untuned_kwargs_differ(self):
+        """Vacuity guard: the audit only means something if at least one
+        algorithm actually pins non-empty kwargs."""
+        pinned = {
+            name: tuple(algorithm_info(name).bench_kwargs)
+            for name in ALGORITHMS
+        }
+        assert pinned["common_neighbor"] == (("k", 4),)
+        assert any(not kw for kw in pinned.values())
+
+
+class TestReportRows:
+    def test_smoke_report_rows_match_the_registry(self, tmp_path):
+        payload = resilience_bench(
+            scale=get_scale("small"), smoke=True,
+            out_path=tmp_path / "BENCH_resilience.json",
+        )
+        assert payload["bench_kwargs"] == {
+            name: dict(algorithm_info(name).bench_kwargs)
+            for name in ALGORITHMS
+        }
+        assert payload["cases"], "smoke study produced no rows"
+        for row in payload["cases"]:
+            assert row["algorithm_kwargs"] == payload["bench_kwargs"][
+                row["algorithm"]
+            ], row

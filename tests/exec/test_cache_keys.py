@@ -222,3 +222,65 @@ class TestAlgorithmNamesReachDigest:
         spec = RunSpec("naive", BASE_TOPOLOGY, BASE_MACHINE, 1024,
                        options=RunOptions())
         assert spec.digest() == GOLDEN_NAIVE_DIGEST
+
+
+class TestSelectorTableReachesDigest:
+    """Adaptive-selection audit: an ``algorithm="auto"`` spec's outcome
+    depends on the decision table it resolves against, so the table's
+    content version must reach the digest — while named-algorithm specs
+    (whose outcome the table cannot touch) keep their frozen digests."""
+
+    def _auto(self) -> RunSpec:
+        return RunSpec("auto", BASE_TOPOLOGY, BASE_MACHINE, 1024)
+
+    def test_auto_pins_the_active_table_version(self):
+        from repro.select.table import active_table_version
+
+        spec = self._auto()
+        assert spec.selector_table == active_table_version()
+        assert spec.canonical()["selector_table"] == spec.selector_table
+
+    def test_table_version_changes_the_digest(self):
+        from dataclasses import replace
+
+        spec = self._auto()
+        other = replace(spec, selector_table="0" * 16)
+        assert spec.digest() != other.digest()
+
+    def test_different_tables_different_digests(self):
+        from repro.select.table import DecisionTable, TableEntry, use_table
+
+        tiny = DecisionTable(
+            candidates=(("naive", ()),),
+            entries={"xs/mid/regular/lat": TableEntry(
+                ranking=("naive",), source="analytic")},
+        )
+        default_digest = self._auto().digest()
+        use_table(tiny)
+        try:
+            assert self._auto().digest() != default_digest
+        finally:
+            use_table(None)
+
+    def test_named_specs_omit_selector_table(self):
+        """Digest-stability pin: selector_table must not appear in a
+        named-algorithm spec's canonical form, so every digest from
+        before ``auto`` existed — the golden naive pin above included —
+        remains a valid cache address."""
+        spec = _spec(RunOptions())
+        assert "selector_table" not in spec.canonical()
+        assert "selector_table" not in spec.to_json()
+        assert spec.digest() == GOLDEN_NAIVE_DIGEST
+
+    def test_named_spec_with_selector_table_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="selector_table"):
+            RunSpec("naive", BASE_TOPOLOGY, BASE_MACHINE, 1024,
+                    selector_table="0" * 16)
+
+    def test_auto_round_trips_through_serialization(self):
+        spec = self._auto()
+        restored = RunSpec.from_dict(spec.canonical())
+        assert restored.selector_table == spec.selector_table
+        assert restored.digest() == spec.digest()

@@ -1,0 +1,171 @@
+"""Feature extraction: buckets, fault classes, and the table-key space."""
+
+import pytest
+
+from repro.collectives.runner import RunOptions
+from repro.exec.spec import MachineSpec
+from repro.select.features import (
+    DENSITY_BUCKETS,
+    DENSITY_REPRESENTATIVE,
+    FAULT_CLASSES,
+    MSG_BUCKETS,
+    MSG_REPRESENTATIVE,
+    SCALE_BUCKETS,
+    SCALE_REPRESENTATIVE,
+    SHAPE_BUCKETS,
+    all_keys,
+    degree_shape,
+    density_bucket,
+    extract_features,
+    fault_class,
+    msg_bucket,
+    scale_bucket,
+    setup_message_bound,
+    split_key,
+)
+from repro.sim.faults import FaultPlan, MessageLoss, RankCrash, RetryPolicy
+from repro.topology import erdos_renyi_topology, moore_topology
+
+MACHINE = MachineSpec(nodes=2, sockets_per_node=2, ranks_per_socket=4)
+
+
+class TestBuckets:
+    def test_scale_edges(self):
+        assert scale_bucket(1) == "xs"
+        assert scale_bucket(8) == "xs"
+        assert scale_bucket(9) == "s"
+        assert scale_bucket(32) == "m"
+        assert scale_bucket(128) == "l"
+        assert scale_bucket(512) == "xl"
+        assert scale_bucket(2160) == "paper"
+
+    def test_density_edges(self):
+        assert density_bucket(0.0) == "empty"
+        assert density_bucket(0.01) == "sparse"
+        assert density_bucket(0.1) == "low"
+        assert density_bucket(0.3) == "mid"
+        assert density_bucket(0.5) == "high"
+        assert density_bucket(0.75) == "full"
+        assert density_bucket(1.0) == "full"
+
+    def test_msg_edges(self):
+        assert msg_bucket(0) == "zero"
+        assert msg_bucket(64) == "lat"
+        assert msg_bucket(256) == "lat"
+        assert msg_bucket(4096) == "mid"
+        assert msg_bucket(65536) == "bw"
+
+    def test_representatives_land_in_their_own_bucket(self):
+        """Each bucket's representative value must re-bucket to itself —
+        otherwise the analytic prior prices the wrong cell."""
+        for bucket, n in SCALE_REPRESENTATIVE.items():
+            assert scale_bucket(n) == bucket
+        for bucket, d in DENSITY_REPRESENTATIVE.items():
+            assert density_bucket(d) == bucket
+        for bucket, m in MSG_REPRESENTATIVE.items():
+            assert msg_bucket(m) == bucket
+
+
+class TestFaultClass:
+    def test_none_and_noop_are_clean(self):
+        assert fault_class(None, 16) == "clean"
+        assert fault_class(FaultPlan(), 16) == "clean"
+
+    def test_light_perturbation(self):
+        plan = FaultPlan(losses=(MessageLoss(probability=0.01),))
+        assert fault_class(plan, 16) == "perturbed"
+
+    def test_heavy_loss_is_risky(self):
+        plan = FaultPlan(
+            losses=(MessageLoss(probability=0.9, start=0.0, end=0.0),),
+            retry=RetryPolicy(max_retries=8),
+        )
+        assert fault_class(plan, 16) == "risky"
+
+    def test_crash(self):
+        plan = FaultPlan(crashes=(RankCrash(rank=1),))
+        assert fault_class(plan, 16) == "crash"
+
+    def test_risky_dominates_crash(self):
+        plan = FaultPlan(
+            crashes=(RankCrash(rank=1),),
+            losses=(MessageLoss(probability=0.9, start=0.0, end=0.0),),
+            retry=RetryPolicy(max_retries=8),
+        )
+        assert fault_class(plan, 16) == "risky"
+
+    def test_bound_grows_quadratically(self):
+        assert setup_message_bound(1) == 4
+        assert setup_message_bound(16) == 4 * 16 * 16
+
+
+class TestDegreeShape:
+    def test_uniform_is_regular(self):
+        assert degree_shape([2, 2, 2], [2, 2, 2]) == "regular"
+        assert degree_shape([], []) == "regular"
+
+    def test_hub(self):
+        assert degree_shape([1, 1, 1, 9], [3, 3, 3, 3]) == "hub"
+
+    def test_mixed(self):
+        assert degree_shape([1, 2, 3], [2, 2, 2]) == "mixed"
+
+
+class TestKeySpace:
+    def test_all_keys_is_the_full_product(self):
+        keys = all_keys()
+        expected = (len(SCALE_BUCKETS) * len(DENSITY_BUCKETS)
+                    * len(SHAPE_BUCKETS) * len(MSG_BUCKETS))
+        assert len(keys) == expected == 432
+        assert len(set(keys)) == len(keys)
+
+    def test_split_key_round_trips(self):
+        for key in all_keys():
+            assert "/".join(split_key(key)) == key
+
+    def test_split_key_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            split_key("xs/mid/regular")
+        with pytest.raises(ValueError):
+            split_key("huge/mid/regular/lat")
+
+    def test_fault_is_not_a_key_dimension(self):
+        """The fault class restricts candidates at selection time; two
+        workloads differing only in fault plan share a table key."""
+        topology = erdos_renyi_topology(16, 0.3, seed=1)
+        clean = extract_features(topology, MACHINE, 1024, None)
+        crashed = extract_features(
+            topology, MACHINE, 1024,
+            RunOptions(fault_plan=FaultPlan(crashes=(RankCrash(rank=1),))),
+        )
+        assert clean.key() == crashed.key()
+        assert clean.fault == "clean" and crashed.fault == "crash"
+        assert crashed.fault in FAULT_CLASSES
+
+
+class TestExtractFeatures:
+    def test_self_loops_excluded_from_density(self):
+        with_loops = erdos_renyi_topology(8, 0.3, seed=2,
+                                          allow_self_loops=True)
+        feats = extract_features(with_loops, MACHINE, 64, None)
+        loops = sum(1 for r in range(8) if with_loops.has_edge(r, r))
+        edges = sum(len(with_loops.out_neighbors(r)) for r in range(8)) - loops
+        assert feats.density == pytest.approx(edges / (8 * 7))
+
+    def test_moore_is_regular(self):
+        feats = extract_features(moore_topology(16, r=1, d=2), MACHINE,
+                                 "4KB", None)
+        assert feats.shape == "regular"
+        assert feats.msg_class == "mid"
+
+    def test_allgatherv_buckets_by_mean_block(self):
+        topology = erdos_renyi_topology(4, 0.5, seed=0)
+        feats = extract_features(topology, MACHINE, [0, 0, 0, 16384], None)
+        assert feats.mean_bytes == pytest.approx(4096.0)
+        assert feats.msg_class == "mid"
+
+    def test_deterministic(self):
+        topology = erdos_renyi_topology(16, 0.3, seed=9)
+        a = extract_features(topology, MACHINE, 512, None)
+        b = extract_features(topology, MACHINE, 512, None)
+        assert a == b

@@ -1,0 +1,86 @@
+"""Regret-harness-promoted selection regressions.
+
+The three highest-regret scenarios from the pinned
+``BENCH_selection.json`` campaign (seed 101, 120 clean scenarios),
+promoted to replayable repro files in ``tests/select/data/`` — the same
+promotion pattern as the fuzz-promoted Distance Halving regressions.
+Each file carries the scenario (replayable via
+:meth:`repro.verify.Scenario.from_dict`) plus the regret recorded when
+it was pinned.
+
+What the pins assert:
+
+* the scenario still replays, selection still picks a survivable
+  candidate, and auto's run is bit-identical to the picked candidate's
+  direct run;
+* regret has not *worsened* past the pinned value — a re-distilled table
+  may improve these cells (lowering regret passes), but a regression on
+  a known-bad workload fails loudly with the table versions named;
+* the full differential battery (which now includes the
+  ``auto_selection`` invariant) stays clean on these adversarial draws.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.select import default_table, evaluate_scenario
+from repro.verify import Scenario, run_trial
+
+DATA_DIR = Path(__file__).with_name("data")
+REPRO_FILES = sorted(DATA_DIR.glob("regret_*.json"))
+
+#: Headroom over the pinned regret: simulated times are bit-deterministic
+#: per table, so any drift beyond float noise means the table changed for
+#: the worse on this key.
+TOLERANCE = 1e-9
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def _ids(paths):
+    return [p.stem.removeprefix("regret_") for p in paths]
+
+
+def test_repro_files_present():
+    assert len(REPRO_FILES) == 3
+
+
+@pytest.mark.parametrize("path", REPRO_FILES, ids=_ids(REPRO_FILES))
+def test_pinned_scenario_replays(path):
+    payload = _load(path)
+    scenario = Scenario.from_dict(payload["scenario"])
+    assert scenario.label() == payload["label"]
+
+
+@pytest.mark.parametrize("path", REPRO_FILES, ids=_ids(REPRO_FILES))
+def test_regret_has_not_worsened(path):
+    payload = _load(path)
+    scenario = Scenario.from_dict(payload["scenario"])
+    result = evaluate_scenario(scenario)
+    assert not result.violation, result.error
+    assert math.isfinite(result.regret)
+    pinned = payload["pinned"]
+    assert result.regret <= pinned["regret"] + TOLERANCE, (
+        f"regret on {payload['label']} worsened: {result.regret:.4f} vs "
+        f"pinned {pinned['regret']:.4f} (pinned against table "
+        f"{pinned['table_version']}, active {default_table().version})"
+    )
+    # Auto never invents a simulation: its time is the picked candidate's.
+    assert result.auto_time == result.candidate_times[result.selected]
+
+
+@pytest.mark.parametrize("path", REPRO_FILES, ids=_ids(REPRO_FILES))
+def test_pinned_scenario_passes_full_battery(path):
+    from dataclasses import replace
+
+    scenario = Scenario.from_dict(_load(path)["scenario"])
+    # The regret harness strips tracing for speed; the differential
+    # battery's conservation oracles want it back.
+    traced = scenario.with_(options=replace(scenario.options, trace=True))
+    trial = run_trial(traced)
+    assert trial.ok, "\n".join(str(v) for v in trial.violations)

@@ -1,0 +1,105 @@
+"""Regret harness: scenario generation, evaluation, and the gates."""
+
+import math
+
+from repro.select import (
+    check_gates,
+    default_table,
+    evaluate_scenario,
+    generate_scenarios,
+    regret_report,
+)
+from repro.select.table import active_table, use_table
+
+
+class TestScenarioGeneration:
+    def test_deterministic_per_seed(self):
+        a = generate_scenarios(3, 5, "clean")
+        b = generate_scenarios(3, 5, "clean")
+        assert [s.to_dict() for s in a] == [s.to_dict() for s in b]
+
+    def test_tracing_stripped(self):
+        for scenario in generate_scenarios(3, 5, "faulty"):
+            assert scenario.options.trace is False
+
+    def test_profiles_respected(self):
+        assert all(s.profile == "crash"
+                   for s in generate_scenarios(1, 4, "crash"))
+
+
+class TestEvaluateScenario:
+    def test_clean_scenario_regret_at_least_one(self):
+        scenario = generate_scenarios(11, 1, "clean")[0]
+        result = evaluate_scenario(scenario)
+        assert result.selected in {n for n, _ in default_table().candidates}
+        assert result.best in result.candidate_times
+        assert result.regret >= 1.0 - 1e-12
+        assert not result.violation
+
+    def test_auto_time_matches_the_selected_candidate(self):
+        """Auto's run must be the selected candidate's run, bit-for-bit —
+        the selector adds a decision, never a different simulation."""
+        scenario = generate_scenarios(11, 3, "clean")[2]
+        result = evaluate_scenario(scenario)
+        assert result.auto_time == result.candidate_times[result.selected]
+
+    def test_record_round_trips_to_json_shape(self):
+        scenario = generate_scenarios(11, 1, "clean")[0]
+        record = evaluate_scenario(scenario).to_dict()
+        assert record["scenario"]["seed"] == 11
+        assert set(record) >= {
+            "label", "selected", "auto_time", "candidate_times", "best",
+            "regret", "fallback_used", "error",
+        }
+
+
+class TestRegretReport:
+    def test_report_shape_and_gates(self):
+        scenarios = generate_scenarios(5, 4, "clean")
+        report = regret_report(scenarios)
+        assert report["experiment"] == "selection_regret"
+        assert report["scenarios"] == 4
+        assert report["table_version"] == default_table().version
+        assert report["profiles"] == ["clean"]
+        assert len(report["records"]) == 4
+        assert len(report["worst"]) <= 3
+        assert math.isfinite(report["geomean_regret"])
+
+    def test_table_override_is_restored(self):
+        before = active_table()
+        scenarios = generate_scenarios(5, 1, "clean")
+        regret_report(scenarios, table=default_table())
+        assert active_table() is before or active_table() == before
+
+    def test_gates_pass_and_fail(self):
+        good = {"geomean_regret": 1.05, "non_survivable_picks": 0}
+        assert check_gates(good) == []
+        bad = {"geomean_regret": 1.5, "non_survivable_picks": 2}
+        failures = check_gates(bad)
+        assert len(failures) == 2
+        assert any("geomean" in f for f in failures)
+        assert any("non-survivable" in f for f in failures)
+
+    def test_geomean_gate_is_tunable(self):
+        report = {"geomean_regret": 1.5, "non_survivable_picks": 0}
+        assert check_gates(report, max_geomean_regret=2.0) == []
+        assert check_gates(report, max_geomean_regret=math.inf) == []
+
+    def test_infinite_geomean_always_fails_a_finite_gate(self):
+        report = {"geomean_regret": math.inf, "non_survivable_picks": 0}
+        assert check_gates(report) != []
+
+
+class TestRegretGatesSmoke:
+    """A miniature of CI's selection-smoke job: the shipped table must
+    clear the gates on a fresh scenario draw (seed disjoint from the
+    pinned BENCH_selection.json artifact's)."""
+
+    def test_clean_profile_clears_the_gates(self):
+        report = regret_report(generate_scenarios(2026, 60, "clean"))
+        assert check_gates(report) == [], report["worst"]
+
+    def test_fault_profiles_never_pick_non_survivable(self):
+        for profile in ("faulty", "crash"):
+            report = regret_report(generate_scenarios(2026, 10, profile))
+            assert report["non_survivable_picks"] == 0, report["violations"]

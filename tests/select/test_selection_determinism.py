@@ -1,0 +1,129 @@
+"""Determinism audit for ``algorithm="auto"`` across every execution path.
+
+Mirrors ``tests/sim/test_crash_determinism.py``: a grid of auto specs
+must resolve to the same algorithm and produce bit-identical simulated
+times whether it executes serially in-process, over a worker pool, or
+through a cold-then-warm result cache.  Selection is part of the spec's
+semantics — the decision-table version is pinned into the digest, so two
+processes can only disagree by resolving different tables, which
+``RunSpec.run()`` refuses to do silently.
+
+The hypothesis property widens the net: for arbitrary workloads, two
+specs with the same digest always resolve to the same pick, and repeated
+in-process selections are stable.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Machine
+from repro.exec.cache import ResultCache
+from repro.exec.orchestrator import execute
+from repro.exec.spec import MachineSpec, RunSpec, TopologySpec
+from repro.select import select
+from repro.select.table import active_table_version
+from repro.topology import erdos_renyi_topology
+
+MACHINE = MachineSpec(nodes=2, sockets_per_node=2, ranks_per_socket=4)
+
+
+def auto_grid():
+    return [
+        RunSpec("auto", TopologySpec("random", 16, density=d, seed=s),
+                MACHINE, m)
+        for d in (0.1, 0.5)
+        for s in (1, 2)
+        for m in (64, 16384)
+    ]
+
+
+def fingerprint(sweep):
+    return [
+        (
+            outcome.run.selected_algorithm,
+            outcome.run.algorithm,
+            outcome.run.simulated_time,
+            outcome.run.messages_sent,
+        )
+        for outcome in sweep.outcomes
+    ]
+
+
+class TestAutoDeterminism:
+    def test_serial_parallel_cached_identical(self, tmp_path):
+        specs = auto_grid()
+        serial = execute(specs, workers=1)
+        serial.raise_errors()
+        golden = fingerprint(serial)
+        # Every resolution actually happened (vacuity guard) and the grid
+        # is not trivially single-algorithm.
+        assert all(selected for selected, _, _, _ in golden)
+
+        parallel = execute(specs, workers=2)
+        parallel.raise_errors()
+        assert fingerprint(parallel) == golden
+
+        cache = ResultCache(cache_dir=tmp_path / "cache")
+        cold = execute(specs, workers=1, cache=cache)
+        cold.raise_errors()
+        assert fingerprint(cold) == golden
+        assert cold.stats["computed"] == len(specs)
+
+        warm = execute(specs, workers=1, cache=cache)
+        warm.raise_errors()
+        assert fingerprint(warm) == golden
+        assert warm.stats["from_cache"] == len(specs)
+
+    def test_digest_pins_the_table_version(self):
+        spec = auto_grid()[0]
+        assert spec.selector_table == active_table_version()
+        assert spec.canonical()["selector_table"] == spec.selector_table
+        # Same inputs -> same digest, independently constructed.
+        assert spec.digest() == auto_grid()[0].digest()
+
+
+machines_st = st.builds(
+    Machine.niagara_like,
+    nodes=st.integers(1, 3),
+    ranks_per_socket=st.integers(1, 4),
+)
+
+
+@st.composite
+def workloads(draw):
+    machine = draw(machines_st)
+    n = machine.spec.n_ranks
+    density = draw(st.floats(0.0, 1.0))
+    seed = draw(st.integers(0, 2**31 - 1))
+    msg = draw(st.sampled_from((0, 64, 4096, 65536)))
+    return machine, erdos_renyi_topology(n, density, seed=seed), msg
+
+
+class TestSelectionProperty:
+    @given(workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_same_workload_same_resolution(self, workload):
+        machine, topology, msg = workload
+        first = select(topology, machine, msg)
+        second = select(topology, machine, msg)
+        assert first.algorithm == second.algorithm
+        assert first.kwargs == second.kwargs
+        assert first.ranking == second.ranking
+        assert first.features == second.features
+        assert first.table_version == second.table_version
+
+    @given(workloads())
+    @settings(max_examples=10, deadline=None)
+    def test_equal_specs_share_digest_and_pick(self, workload):
+        machine, topology, msg = workload
+        spec_of = lambda: RunSpec(
+            "auto",
+            TopologySpec("random", topology.n,
+                         density=0.3, seed=5),
+            MachineSpec(nodes=machine.spec.nodes,
+                        sockets_per_node=machine.spec.sockets_per_node,
+                        ranks_per_socket=machine.spec.ranks_per_socket),
+            msg,
+        )
+        a, b = spec_of(), spec_of()
+        assert a.digest() == b.digest()
+        assert a.run().selected_algorithm == b.run().selected_algorithm

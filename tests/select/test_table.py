@@ -1,0 +1,161 @@
+"""Decision-table artifact: content versioning, serde, and resolution."""
+
+import json
+
+import pytest
+
+from repro.select.table import (
+    DEFAULT_TABLE_PATH,
+    TABLE_ENV_VAR,
+    DecisionTable,
+    TableEntry,
+    active_table,
+    active_table_version,
+    default_table,
+    use_table,
+)
+
+CANDIDATES = (
+    ("naive", ()),
+    ("common_neighbor", (("k", 4),)),
+)
+
+
+def tiny_table(**provenance) -> DecisionTable:
+    return DecisionTable(
+        candidates=CANDIDATES,
+        entries={
+            "xs/mid/regular/lat": TableEntry(
+                ranking=("common_neighbor", "naive"), source="empirical",
+                cells=3,
+            ),
+            "paper/full/hub/bw": TableEntry(
+                ranking=("naive", "common_neighbor"), source="analytic",
+            ),
+        },
+        provenance=provenance,
+    )
+
+
+class TestContentVersion:
+    def test_version_is_deterministic(self):
+        assert tiny_table().version == tiny_table().version
+
+    def test_version_tracks_content(self):
+        base = tiny_table()
+        reranked = DecisionTable(
+            candidates=CANDIDATES,
+            entries={
+                **base.entries,
+                "xs/mid/regular/lat": TableEntry(
+                    ranking=("naive", "common_neighbor"), source="empirical",
+                    cells=3,
+                ),
+            },
+        )
+        assert base.version != reranked.version
+
+    def test_provenance_is_versioned(self):
+        assert tiny_table().version != tiny_table(seed=1).version
+
+
+class TestValidation:
+    def test_bad_key_rejected(self):
+        with pytest.raises(ValueError, match="bucket vocabulary"):
+            DecisionTable(
+                candidates=CANDIDATES,
+                entries={"huge/mid/regular/lat": TableEntry(
+                    ranking=("naive",), source="analytic")},
+            )
+        with pytest.raises(ValueError, match="malformed"):
+            DecisionTable(
+                candidates=CANDIDATES,
+                entries={"nope": TableEntry(ranking=("naive",),
+                                            source="analytic")},
+            )
+
+    def test_unknown_candidate_rejected(self):
+        with pytest.raises(ValueError, match="non-candidate"):
+            DecisionTable(
+                candidates=CANDIDATES,
+                entries={"xs/mid/regular/lat": TableEntry(
+                    ranking=("mystery",), source="analytic")},
+            )
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError, match="source"):
+            TableEntry.from_dict({"ranking": ["naive"], "source": "vibes"})
+
+
+class TestSerde:
+    def test_round_trip(self, tmp_path):
+        table = tiny_table(note="x")
+        path = table.save(tmp_path / "table.json")
+        loaded = DecisionTable.load(path)
+        assert loaded == table
+        assert loaded.version == table.version
+
+    def test_hand_edited_artifact_rejected(self, tmp_path):
+        """A table whose recorded version disagrees with its payload hash
+        is corrupt — auditability demands a loud failure, not a silent
+        re-hash."""
+        path = tiny_table().save(tmp_path / "table.json")
+        data = json.loads(path.read_text())
+        data["entries"]["xs/mid/regular/lat"]["ranking"].reverse()
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="hand-edited"):
+            DecisionTable.load(path)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "table.json"
+        payload = tiny_table().to_dict()
+        payload["format"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format"):
+            DecisionTable.load(path)
+
+    def test_diff_reports_changed_keys_only(self):
+        base = tiny_table()
+        changed = DecisionTable(
+            candidates=CANDIDATES,
+            entries={
+                **base.entries,
+                "xs/mid/regular/lat": TableEntry(
+                    ranking=("naive", "common_neighbor"), source="analytic",
+                ),
+            },
+        )
+        diff = base.diff(changed)
+        assert set(diff["changed"]) == {"xs/mid/regular/lat"}
+        assert diff["versions"] == [base.version, changed.version]
+
+
+class TestResolution:
+    def test_default_table_is_complete_and_self_consistent(self):
+        table = default_table()
+        assert table.is_complete()
+        recorded = json.loads(DEFAULT_TABLE_PATH.read_text())["version"]
+        assert table.version == recorded
+
+    def test_override_wins(self):
+        table = tiny_table()
+        use_table(table)
+        try:
+            assert active_table() is table
+            assert active_table_version() == table.version
+        finally:
+            use_table(None)
+        assert active_table() == default_table()
+
+    def test_env_var_between_override_and_default(self, tmp_path,
+                                                  monkeypatch):
+        table = tiny_table(env=True)
+        path = table.save(tmp_path / "env_table.json")
+        monkeypatch.setenv(TABLE_ENV_VAR, str(path))
+        assert active_table().version == table.version
+        override = tiny_table(override=True)
+        use_table(override)
+        try:
+            assert active_table() is override
+        finally:
+            use_table(None)
