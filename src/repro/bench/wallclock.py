@@ -28,7 +28,9 @@ Run via ``python -m repro bench --wallclock [--smoke]``.
 
 from __future__ import annotations
 
+import cProfile
 import json
+import pstats
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -39,6 +41,7 @@ from repro.bench.config import BenchScale, bench_machine, get_scale
 from repro.bench.reporting import format_table, geometric_mean
 from repro.collectives.base import algorithm_info, get_algorithm, list_algorithms
 from repro.collectives.runner import RunOptions, run_allgather
+from repro.sim.plancache import plan_cache_stats
 from repro.topology.random_graphs import erdos_renyi_topology
 from repro.utils.sizes import format_size, parse_size
 
@@ -117,6 +120,7 @@ class CaseResult:
     wall_seconds: list[float] = field(default_factory=list)
     wall_seconds_auto: list[float] | None = None
     sim_path: str | None = None
+    profile: list[dict[str, Any]] | None = None
 
     @property
     def wall_median(self) -> float:
@@ -161,6 +165,8 @@ class CaseResult:
             record["wall_seconds_auto"] = self.wall_seconds_auto
             record["wall_median_auto"] = self.wall_median_auto
             record["speedup_auto"] = self.speedup_auto
+        if self.profile is not None:
+            record["profile"] = self.profile
         return record
 
 
@@ -206,7 +212,38 @@ def paper_scale_cases(repeats_density: float = 0.3,
     ]
 
 
-def _run_case(case: WallclockCase, repeats: int, check_trace: bool) -> CaseResult:
+#: Rows kept per case when profiling (`--profile`): the top N by cumulative
+#: time, which is where an interpreter-vs-executor cost claim lives.
+PROFILE_TOP_N = 15
+
+
+def _profile_rows(pr: cProfile.Profile, top_n: int = PROFILE_TOP_N) -> list[dict]:
+    """The top-N functions of a finished profile, as JSON-friendly rows.
+
+    Rows are sorted by cumulative time; file paths are trimmed to their
+    ``repro``-relative tail so payloads are host-independent and diffable.
+    """
+    stats = pstats.Stats(pr)
+    rows = []
+    for (filename, line, name), (_cc, ncalls, tottime, cumtime, _callers) \
+            in stats.stats.items():  # type: ignore[attr-defined]
+        parts = filename.replace("\\", "/").split("/")
+        if "repro" in parts:
+            filename = "/".join(parts[parts.index("repro"):])
+        elif len(parts) > 2:
+            filename = "/".join(parts[-2:])
+        rows.append({
+            "function": f"{filename}:{line}({name})" if line else f"{filename}({name})",
+            "ncalls": ncalls,
+            "tottime": tottime,
+            "cumtime": cumtime,
+        })
+    rows.sort(key=lambda r: r["cumtime"], reverse=True)
+    return rows[:top_n]
+
+
+def _run_case(case: WallclockCase, repeats: int, check_trace: bool,
+              profile: bool = False) -> CaseResult:
     machine = bench_machine(case.ranks, case.ranks_per_socket)
     topology = erdos_renyi_topology(case.ranks, case.density, seed=FIG5_SEED)
     kwargs = dict(algorithm_info(case.algorithm).bench_kwargs)
@@ -251,6 +288,19 @@ def _run_case(case: WallclockCase, repeats: int, check_trace: bool) -> CaseResul
                     f"des ({result.simulated_time!r}, {result.messages_sent})"
                 )
             result.wall_seconds_auto.append(run.wall_time)
+
+    if profile:
+        # One extra run under cProfile, never one of the timed repeats.
+        # Profile the hybrid path when the case exercises it (that is where
+        # an interpreter-vs-executor cost claim lives), the DES otherwise.
+        prof_options = (RunOptions(sim_mode="auto")
+                        if case.sim_mode in ("compare", "auto") else options)
+        pr = cProfile.Profile()
+        pr.enable()
+        run_allgather(algorithm, topology, machine, case.msg_bytes,
+                      options=prof_options)
+        pr.disable()
+        result.profile = _profile_rows(pr)
 
     if check_trace:
         traced = run_allgather(
@@ -378,6 +428,7 @@ def wallclock_bench(
     verbose: bool = False,
     sim_mode: str = "compare",
     paper_scales: bool = False,
+    profile: bool = False,
 ) -> dict[str, Any]:
     """Run the wall-clock harness; returns (and writes) the report payload.
 
@@ -390,6 +441,15 @@ def wallclock_bench(
     (``"compare"`` times DES and hybrid back to back; ``"des"``/``"auto"``
     time one path).  ``paper_scales=True`` appends hybrid-only cases at the
     paper's 540/1080/2048/2160-rank communicator sizes.
+
+    ``profile=True`` adds one cProfile'd (untimed) hybrid run per case and
+    attaches the top-:data:`PROFILE_TOP_N`-by-cumulative-time table to each
+    case record (``"profile"``) — the reproducible form of any claim about
+    where simulator-core wall time goes.
+
+    The payload always carries a ``"plan_cache"`` block: the process-wide
+    compiled-plan cache counters (see :mod:`repro.sim.plancache`) after the
+    run, which is how cross-run plan reuse on the grid is made visible.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -407,7 +467,7 @@ def wallclock_bench(
         # Trace invariance is cheap at smoke size (check every case); at full
         # size one case suffices — the property suite covers the rest.
         check_trace = smoke or i == 0
-        results.append(_run_case(case, repeats, check_trace))
+        results.append(_run_case(case, repeats, check_trace, profile=profile))
         if verbose:
             res = results[-1]
             auto = (f"  auto={res.wall_median_auto * 1e3:8.2f} ms "
@@ -430,6 +490,9 @@ def wallclock_bench(
         "total_wall_median": sum(r.wall_median for r in results),
         "total_messages": sum(r.messages_sent for r in results),
         "cases": [r.to_record() for r in results],
+        # Process-wide compiled-plan cache counters after the grid: repeats
+        # and schedule-shape-sharing cells all land here as hits.
+        "plan_cache": plan_cache_stats(),
     }
     compared = [r for r in results if r.wall_median_auto is not None]
     if compared:
@@ -492,4 +555,22 @@ def wallclock_bench(
                 f"({baseline['speedup_geomean']:.2f}x geomean) over "
                 f"{baseline['checked_cases']} cases, sim times bit-identical"
             )
+        pc = payload["plan_cache"]
+        print(
+            f"plan cache         : {pc['hits']} hits / {pc['misses']} misses "
+            f"(hit rate {pc['hit_rate']:.2f}), {pc['size']} entries, "
+            f"{pc['evictions']} evictions"
+        )
+        if profile:
+            for r in results:
+                if not r.profile:
+                    continue
+                print()
+                print(format_table(
+                    ["ncalls", "tottime (s)", "cumtime (s)", "function"],
+                    [(row["ncalls"], f"{row['tottime']:.4f}",
+                      f"{row['cumtime']:.4f}", row["function"])
+                     for row in r.profile],
+                    title=f"profile: {r.case.label()}",
+                ))
     return payload

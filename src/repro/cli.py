@@ -192,6 +192,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--max-wall-seconds", type=float, default=None,
                          help="with --sweep-smoke/--paper-smoke: exit 1 if "
                               "the sweep's wall clock exceeds this budget")
+    bench_p.add_argument("--profile", action="store_true",
+                         help="with --wallclock: cProfile one hybrid run per "
+                              "case and attach the top-N table to the report")
+    bench_p.add_argument("--min-speedup", type=float, default=None,
+                         help="with --wallclock: exit 1 if the hybrid-over-DES "
+                              "geomean speedup falls below this factor")
+    bench_p.add_argument("--min-plan-cache-hit-rate", type=float, default=None,
+                         help="with --wallclock: exit 1 if the compiled-plan "
+                              "cache hit rate falls below this fraction")
 
     adv_p = sub.add_parser(
         "advise", help="adaptive algorithm selection (repro.select)")
@@ -554,7 +563,7 @@ def cmd_bench(args) -> int:
                   file=sys.stderr)
             return 2
         try:
-            wallclock_bench(
+            payload = wallclock_bench(
                 scale=scale,
                 repeats=1 if args.smoke else args.repeats,
                 smoke=args.smoke,
@@ -563,12 +572,30 @@ def cmd_bench(args) -> int:
                 verbose=True,
                 sim_mode=args.sim_mode,
                 paper_scales=args.paper_scales,
+                profile=args.profile,
             )
         except (OSError, ValueError) as exc:
             # Unreadable/corrupt golden or baseline files (and bad knob
             # combinations) are operator errors, not bugs: one line, exit 1.
             print(f"error: {exc}", file=sys.stderr)
             return 1
+        if args.min_speedup is not None:
+            geomean = payload.get("hybrid", {}).get("speedup_auto_geomean")
+            if geomean is None:
+                print("error: --min-speedup needs compared cases "
+                      "(run with --sim-mode compare)", file=sys.stderr)
+                return 2
+            if geomean < args.min_speedup:
+                print(f"error: hybrid geomean speedup {geomean:.2f}x is below "
+                      f"the required {args.min_speedup:.2f}x", file=sys.stderr)
+                return 1
+        if args.min_plan_cache_hit_rate is not None:
+            rate = payload["plan_cache"]["hit_rate"]
+            if rate < args.min_plan_cache_hit_rate:
+                print(f"error: plan-cache hit rate {rate:.2f} is below the "
+                      f"required {args.min_plan_cache_hit_rate:.2f}",
+                      file=sys.stderr)
+                return 1
         return 0
     if args.resilience:
         from repro.bench.resilience import resilience_bench

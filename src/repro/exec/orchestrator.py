@@ -47,6 +47,7 @@ from repro.collectives.runner import AllgatherRun
 from repro.exec.cache import ResultCache
 from repro.exec.serialize import run_from_dict, run_to_dict
 from repro.exec.spec import RunSpec
+from repro.sim.plancache import plan_cache_stats
 
 #: Outcome sources, in the order a resumed sweep prefers them.
 SOURCES = ("cache", "computed", "error")
@@ -343,4 +344,9 @@ def execute(
     if cache is not None:
         stats["cache"] = cache.stats.as_dict()
         stats["cache_dir"] = str(cache.cache_dir)
+    # Compiled-plan cache counters for *this process* (see
+    # repro.sim.plancache).  With workers > 1 the sweep simulates in child
+    # processes, so these count only inline work — the single-process path
+    # (workers=1 or the wallclock harness) is where plan reuse shows up.
+    stats["plan_cache"] = plan_cache_stats()
     return SweepResult(outcomes=list(outcomes), stats=stats)

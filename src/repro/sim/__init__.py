@@ -30,12 +30,16 @@ from repro.sim.faults import (
     resilience_profiles,
 )
 from repro.sim.fastpath import ANALYTIC_RTOL, FastRunOutcome, execute_schedule
+from repro.sim.plancache import PlanCache, machine_digest, plan_cache_stats, reset_plan_cache
 from repro.sim.request import Request
 from repro.sim.schedule import (
     Schedule,
     StageReport,
     analyze_contention,
     contention_free,
+    spawn_wake_order,
+    static_matching,
+    structural_digest,
 )
 from repro.sim.timeline import chrome_trace, phase_breakdown, save_chrome_trace
 from repro.sim.tracing import MessageRecord, TraceCollector
@@ -67,6 +71,13 @@ __all__ = [
     "execute_schedule",
     "Schedule",
     "StageReport",
+    "spawn_wake_order",
+    "static_matching",
+    "structural_digest",
+    "PlanCache",
+    "machine_digest",
+    "plan_cache_stats",
+    "reset_plan_cache",
     "analyze_contention",
     "contention_free",
 ]

@@ -24,6 +24,16 @@ Two ideas make it fast:
   prefix-sum regrouping would break bit-identity with the engine.  Claims
   stay in event order over plain float state.
 
+Three executor tiers share those ideas, dispatched by eligibility:
+single-stage schedules run the fully batched :class:`_BatchPlan` sweep;
+every other fully matched schedule (multi-stage CN/DH/Bruck, budgeted
+runs) runs the heap-driven :class:`_MultiStagePlan` executor, which keeps
+the engine's event structure and makes segment interiors static; the
+scalar opcode interpreter (:func:`_interpret`) remains as the reference
+tier for analytic costing and unmatched-receive deadlocks.  All compiled
+products are memoized across runs in the structural plan cache
+(:mod:`repro.sim.plancache`).
+
 ``model_contention=False`` gives the closed-form Hockney costing
 (``sim_mode="analytic"``): every message is priced as if it were alone —
 ``arrival = post + max(stage durations) + hop_extra`` — which is exact when
@@ -48,6 +58,8 @@ import numpy as np
 
 from repro.sim.engine import DeadlockError, SimTimeoutError
 from repro.sim.fabric import _machine_cost_table, _resolve_machine_costs
+from repro.sim.plancache import _MISS, PLAN_CACHE, machine_digest
+from repro.sim.schedule import spawn_wake_order, static_matching, structural_digest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.machine import Machine
@@ -233,22 +245,21 @@ def _compile(schedule: "Schedule", machine: "Machine", model_contention: bool):
 
 
 def compiled_for(schedule: "Schedule", machine: "Machine", model_contention: bool):
-    """Memoized :func:`_compile`: cached on the schedule object itself.
+    """Memoized :func:`_compile` via the structural plan cache.
 
-    The cache key is the *identity* of ``machine`` plus the contention flag
-    (a strong reference to the machine is kept in the cache entry, so an
-    ``is`` check can never alias a recycled object id).  Repeated runs of
-    the same case — bench repeats, warm sweeps — pay compilation once.
+    The key is ``(schedule structural digest, machine digest, flavor)`` —
+    see :mod:`repro.sim.plancache` — so compilation is shared across runs,
+    across alternating machines (the old single-entry memo evicted on every
+    switch), and across distinct ``Schedule`` objects describing the same
+    pattern (a rebuilt sweep cell replays a cached plan).
     """
-    cache = getattr(schedule, "_fp_compiled", None)
-    if cache is None:
-        cache = schedule._fp_compiled = {}
-    entry = cache.get(model_contention)
-    if entry is not None and entry[0] is machine:
-        return entry[1], entry[2]
-    segments, n_lanes = _compile(schedule, machine, model_contention)
-    cache[model_contention] = (machine, segments, n_lanes)
-    return segments, n_lanes
+    key = (structural_digest(schedule), machine_digest(machine),
+           "segments", model_contention)
+    entry = PLAN_CACHE.get(key)
+    if entry is _MISS:
+        entry = _compile(schedule, machine, model_contention)
+        PLAN_CACHE.put(key, entry)
+    return entry
 
 
 class _BatchPlan:
@@ -273,8 +284,9 @@ class _BatchPlan:
       and per-rank waitall folds reduce to ``np.maximum`` /
       ``np.maximum.reduceat`` (max is order-free, hence bit-exact).
 
-    Watchdog budgets force the generic interpreter: budget trip points are
-    mid-run engine states that a batched sweep does not reproduce.
+    Watchdog budgets force the heap-driven multi-stage executor instead:
+    budget trip points are mid-run engine states that a single batched
+    sweep does not reproduce, but per-pop budget checks do.
     """
 
     __slots__ = (
@@ -488,13 +500,16 @@ def _compile_batch(schedule: "Schedule", machine: "Machine"):
 
 
 def batch_plan_for(schedule: "Schedule", machine: "Machine"):
-    """Memoized :func:`_compile_batch` (same identity-keyed cache pattern
-    as :func:`compiled_for`)."""
-    cache = getattr(schedule, "_fp_batch", None)
-    if cache is not None and cache[0] is machine:
-        return cache[1]
-    plan = _compile_batch(schedule, machine)
-    schedule._fp_batch = (machine, plan)
+    """Memoized :func:`_compile_batch` via the structural plan cache.
+
+    ``None`` (schedule not single-stage eligible) is cached too: deciding
+    ineligibility costs a full compile walk.
+    """
+    key = (structural_digest(schedule), machine_digest(machine), "batch")
+    plan = PLAN_CACHE.get(key)
+    if plan is _MISS:
+        plan = _compile_batch(schedule, machine)
+        PLAN_CACHE.put(key, plan)
     return plan
 
 
@@ -627,6 +642,441 @@ def _execute_batch(plan: _BatchPlan) -> FastRunOutcome:
     )
 
 
+#: Below this many ops a segment's clock is evolved by a scalar Python loop:
+#: one ``np.add.accumulate`` call costs more than ~two dozen float adds, and
+#: both forms are bit-identical (accumulate is a strict left-to-right fold).
+_VEC_MIN_OPS = 24
+
+
+class _MultiStagePlan:
+    """Precompiled tables for the heap-driven multi-stage executor.
+
+    The single-stage :class:`_BatchPlan` works because its global claim
+    order is static.  Multi-stage schedules interleave segments of
+    different ranks in heap ``(time, seq, rank)`` order, which is a
+    runtime quantity — so this plan keeps the engine's *event structure*
+    (one heap pop per spawn and per waitall wake, identical seq
+    allocation) and makes everything inside an event static instead:
+
+    * per wait-delimited segment, the op deltas collapse to one clock
+      evolution — ``np.add.accumulate`` over ``[now, d1, d2, ...]`` for
+      fat segments, a scalar loop for thin ones (both are the engine's
+      sequential adds, bit for bit), with the first segment's prefix sums
+      precomputed at compile time (its ``now`` is always 0.0);
+    * every send carries its pre-priced durations and pre-resolved
+      receive slot (:func:`repro.sim.schedule.static_matching` — FIFO
+      matching is a compile-time function of the schedule), so delivery
+      is an array poke instead of dict/deque rendezvous bookkeeping;
+    * inter-stage state — per-rank clocks, per-port/NIC/lane ``next_free``
+      claims that bind into later stages, pending waitall counts — lives
+      in flat arrays threaded across events.
+
+    Claim arithmetic is copied verbatim from the scalar interpreter
+    (non-associative float adds stay in event order), so outcomes are
+    bit-identical to the Engine, including watchdog-budget boundaries and
+    deadlock reporting.
+    """
+
+    __slots__ = (
+        "n_ranks", "rank_segs", "wake_order", "n_slots", "n_lanes",
+        "n_nodes", "messages", "bytes_total",
+    )
+
+
+def _compile_multi(schedule: "Schedule", machine: "Machine"):
+    """Build a :class:`_MultiStagePlan`, or ``None`` when a receive has no
+    matching send (the run deadlocks; the scalar interpreter reports it
+    with exact engine semantics)."""
+    segments, n_lanes = compiled_for(schedule, machine, True)
+    send_slots, n_slots, fully_matched = static_matching(schedule)
+    if not fully_matched:
+        return None
+    call_overhead = machine.params.call_overhead
+
+    n = schedule.n_ranks
+    rank_segs: list[tuple | None] = []
+    si = 0  # global send index — rank-major op order, = static_matching's
+    ri = 0  # global receive slot — same enumeration
+    messages = 0
+    bytes_total = 0
+    for rank in range(n):
+        segs = segments[rank]
+        if segs is None:
+            rank_segs.append(None)
+            continue
+        compiled: list[tuple] = []
+        first = True
+        for ops, ends_with_wait in segs:
+            deltas: list[float] = []
+            sends: list[tuple] = []
+            recvs: list[tuple] = []
+            for op in ops:
+                if op.__class__ is float:
+                    deltas.append(op)
+                    continue
+                deltas.append(call_overhead)
+                pos = len(deltas)  # accl index of the clock after this op
+                code = op[0]
+                if code == _RECV:
+                    recvs.append((pos, ri))
+                    ri += 1
+                    continue
+                sl = send_slots[si]
+                si += 1
+                messages += 1
+                bytes_total += op[3]
+                if code == _SEND_SELF:
+                    sends.append((0, pos, sl, op[4]))
+                elif code == _SEND_LOCAL:
+                    sends.append((1, pos, sl, op[1], op[4], op[5]))
+                elif code == _SEND_NODE:
+                    sends.append((2, pos, sl, op[1], op[4], op[5], op[6],
+                                  op[7], op[8]))
+                else:  # _SEND_GROUP — pre-classify the lane choice shape
+                    groups, fixed = op[10], op[11]
+                    if groups is None:
+                        lmode, lspec = 0, fixed        # oblivious lane set
+                    elif len(groups) == 1:
+                        g = groups[0]
+                        # adaptive: the 2-lane pair (Dragonfly+ default)
+                        # gets its own inlined fast case at runtime
+                        lmode, lspec = (1, g) if len(g) == 2 else (2, g)
+                    else:
+                        lmode, lspec = 3, groups       # per-hop choices
+                    sends.append((3, pos, sl, op[1], op[4], op[5], op[6],
+                                  op[7], op[8], op[9], lmode, lspec))
+            accl0 = None
+            if first:
+                accl0 = np.add.accumulate(
+                    np.asarray([0.0] + deltas, dtype=np.float64)
+                ).tolist()
+                first = False
+            if len(deltas) >= _VEC_MIN_OPS:
+                arr = np.empty(len(deltas) + 1, dtype=np.float64)
+                arr[1:] = deltas
+                compiled.append((True, arr, accl0, tuple(sends),
+                                 tuple(recvs), ends_with_wait))
+            else:
+                compiled.append((False, tuple(deltas), accl0, tuple(sends),
+                                 tuple(recvs), ends_with_wait))
+        rank_segs.append(tuple(compiled))
+
+    plan = _MultiStagePlan()
+    plan.n_ranks = n
+    plan.rank_segs = rank_segs
+    plan.wake_order = spawn_wake_order(schedule)
+    plan.n_slots = n_slots
+    plan.n_lanes = n_lanes
+    plan.n_nodes = machine.spec.nodes
+    plan.messages = messages
+    plan.bytes_total = bytes_total
+    return plan
+
+
+def multi_plan_for(schedule: "Schedule", machine: "Machine"):
+    """Memoized :func:`_compile_multi` via the structural plan cache."""
+    key = (structural_digest(schedule), machine_digest(machine), "multi")
+    plan = PLAN_CACHE.get(key)
+    if plan is _MISS:
+        plan = _compile_multi(schedule, machine)
+        PLAN_CACHE.put(key, plan)
+    return plan
+
+
+def _execute_multi(
+    plan: _MultiStagePlan,
+    max_sim_time: float | None,
+    max_events: int | None,
+) -> FastRunOutcome:
+    """One run of a multi-stage plan (see :class:`_MultiStagePlan`).
+
+    The heap discipline — pushes, pops, sequence numbers, budget checks —
+    is the scalar interpreter's, verbatim; segment interiors use the
+    precompiled tables.  Receive slots run a small state machine replacing
+    the posted/unexpected dict rendezvous: 0 unposted, 1 posted (owner
+    still running its segment), 2 delivered before post, 3 consumed,
+    4 blocked in a waitall, 5 determined while the owner was running
+    (same-rank delivery).  Sends and receives are processed in two passes
+    per segment: deliveries to *other* ranks happen only in the send pass
+    (their relative order is preserved, so seq allocation is identical)
+    and same-rank deliveries commute through the state machine — every
+    completion is ``max(arrival, post clock)`` folded through order-free
+    maxima, so the split is bit-exact against the engine's op-interleaved
+    processing.
+    """
+    n = plan.n_ranks
+    rank_segs = plan.rank_segs
+    rank_now = [0.0] * n
+    send_next = [0.0] * n
+    recv_next = [0.0] * n
+    nic_tx_next = [0.0] * plan.n_nodes
+    nic_rx_next = [0.0] * plan.n_nodes
+    lane_next = [0.0] * plan.n_lanes
+    n_slots = plan.n_slots
+    state = bytearray(n_slots)
+    post_rt = [0.0] * n_slots
+    aval = [0.0] * n_slots
+    wait_remaining = [0] * n
+    wait_latest = [0.0] * n
+    seg_idx = [0] * n
+    finished: dict[int, float] = {}
+
+    heap: list[tuple[float, int, int]] = []
+    seq = 0
+    for rank in plan.wake_order:
+        seq += 1
+        heap.append((0.0, seq, rank))
+    if len(plan.wake_order) < n:
+        for rank in range(n):
+            if rank_segs[rank] is None:
+                finished[rank] = 0.0
+
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    accumulate = np.add.accumulate
+
+    def _blocked_detail() -> str:
+        parts = []
+        for r in range(n):
+            if r in finished or rank_segs[r] is None:
+                continue
+            rem = wait_remaining[r]
+            detail = f"waitall({rem} pending)" if rem else "runnable"
+            parts.append(f"rank {r} ({detail})")
+        return ", ".join(parts) if parts else "none"
+
+    max_time = float("inf") if max_sim_time is None else max_sim_time
+    events = 0
+    while heap:
+        time, _, rank = heappop(heap)
+        if time > max_time:
+            raise SimTimeoutError(
+                f"simulated-time budget exceeded: next event at "
+                f"{time:.6e}s > max_sim_time={max_time:.6e}s "
+                f"after {events} event(s); processes: {_blocked_detail()}",
+                budget="sim_time", events_processed=events, limit=max_time,
+            )
+        events += 1
+        if max_events is not None and events > max_events:
+            raise SimTimeoutError(
+                f"event budget exceeded: processed {events - 1} events "
+                f"(max_events={max_events}); processes: {_blocked_detail()}",
+                budget="events", events_processed=events - 1, limit=max_events,
+            )
+        now = rank_now[rank]
+        if time > now:
+            now = time
+        segs = rank_segs[rank]
+        i = seg_idx[rank]
+        nseg = len(segs)
+        while True:
+            if i == nseg:
+                rank_now[rank] = now
+                finished[rank] = now
+                break
+            vec, deltas, accl0, sends, recvs, ends_wait = segs[i]
+            i += 1
+            if accl0 is not None and now == 0.0:
+                accl = accl0
+            elif vec:
+                deltas[0] = now
+                accl = accumulate(deltas).tolist()
+            else:
+                accl = [now]
+                c = now
+                for d in deltas:
+                    c += d
+                    accl.append(c)
+            now = accl[-1]
+            lat = 0.0
+            for pos, sl in recvs:
+                if state[sl]:  # == 2: delivered before post (unexpected)
+                    a = aval[sl]
+                    t = accl[pos]
+                    c2 = a if a > t else t
+                    if c2 > lat:
+                        lat = c2
+                    state[sl] = 3
+                else:
+                    post_rt[sl] = accl[pos]
+                    state[sl] = 1
+            for sd in sends:
+                kind = sd[0]
+                if kind == 2:  # cross-node: port -> NIC tx -> NIC rx -> port
+                    _, pos, sl, dst, port_dur, nic_dur, hop_x, nsrc, ndst = sd
+                    p = accl[pos]
+                    nf = send_next[rank]
+                    start = p if p > nf else nf
+                    end = start + port_dur
+                    send_next[rank] = end
+                    if end > lat:
+                        lat = end
+                    pe = end
+                    nf = nic_tx_next[nsrc]
+                    s = start if start > nf else nf
+                    e = s + nic_dur
+                    if e < pe:
+                        e = pe
+                    nic_tx_next[nsrc] = e
+                    prev = s
+                    pe = e
+                    nf = nic_rx_next[ndst]
+                    s = prev if prev > nf else nf
+                    e = s + nic_dur
+                    if e < pe:
+                        e = pe
+                    nic_rx_next[ndst] = e
+                    prev = s
+                    pe = e
+                    nf = recv_next[dst]
+                    s = prev if prev > nf else nf
+                    e = s + port_dur
+                    if e < pe:
+                        e = pe
+                    recv_next[dst] = e
+                    arrival = e + hop_x
+                elif kind == 3:  # cross-group: + adaptive shared-link lanes
+                    (_, pos, sl, dst, port_dur, nic_dur, link_dur, hop_x,
+                     nsrc, ndst, lmode, lspec) = sd
+                    p = accl[pos]
+                    nf = send_next[rank]
+                    start = p if p > nf else nf
+                    end = start + port_dur
+                    send_next[rank] = end
+                    if end > lat:
+                        lat = end
+                    pe = end
+                    nf = nic_tx_next[nsrc]
+                    s = start if start > nf else nf
+                    e = s + nic_dur
+                    if e < pe:
+                        e = pe
+                    nic_tx_next[nsrc] = e
+                    prev = s
+                    pe = e
+                    if lmode == 1:
+                        # Adaptive 2-lane pair: least-loaded lane, first
+                        # minimal on ties (same tie-break as Fabric.transmit),
+                        # claim inlined.
+                        a, b = lspec
+                        ln = a if lane_next[a] <= lane_next[b] else b
+                        nf = lane_next[ln]
+                        s = prev if prev > nf else nf
+                        e = s + link_dur
+                        if e < pe:
+                            e = pe
+                        lane_next[ln] = e
+                        prev = s
+                        pe = e
+                    else:
+                        if lmode == 0:
+                            lanes = lspec
+                        elif lmode == 2:
+                            lanes = (min(lspec, key=lane_next.__getitem__),)
+                        else:
+                            lanes = [min(g, key=lane_next.__getitem__)
+                                     for g in lspec]
+                        for ln in lanes:
+                            nf = lane_next[ln]
+                            s = prev if prev > nf else nf
+                            e = s + link_dur
+                            if e < pe:
+                                e = pe
+                            lane_next[ln] = e
+                            prev = s
+                            pe = e
+                    nf = nic_rx_next[ndst]
+                    s = prev if prev > nf else nf
+                    e = s + nic_dur
+                    if e < pe:
+                        e = pe
+                    nic_rx_next[ndst] = e
+                    prev = s
+                    pe = e
+                    nf = recv_next[dst]
+                    s = prev if prev > nf else nf
+                    e = s + port_dur
+                    if e < pe:
+                        e = pe
+                    recv_next[dst] = e
+                    arrival = e + hop_x
+                elif kind == 1:  # same-node: send port -> recv port
+                    _, pos, sl, dst, port_dur, hop_x = sd
+                    p = accl[pos]
+                    nf = send_next[rank]
+                    start = p if p > nf else nf
+                    end = start + port_dur
+                    send_next[rank] = end
+                    if end > lat:
+                        lat = end
+                    nf = recv_next[dst]
+                    s = start if start > nf else nf
+                    e = s + port_dur
+                    if e < end:
+                        e = end
+                    recv_next[dst] = e
+                    arrival = e + hop_x
+                else:  # kind == 0: self-send completes at post + memcpy
+                    _, pos, sl, dur = sd
+                    dst = rank
+                    arrival = accl[pos] + dur
+                    if arrival > lat:
+                        lat = arrival
+                if sl >= 0:
+                    st = state[sl]
+                    if st == 0:
+                        aval[sl] = arrival
+                        state[sl] = 2
+                    elif st == 4:  # owner blocked in its waitall
+                        pr = post_rt[sl]
+                        c2 = arrival if arrival > pr else pr
+                        if c2 > wait_latest[dst]:
+                            wait_latest[dst] = c2
+                        rem = wait_remaining[dst] - 1
+                        wait_remaining[dst] = rem
+                        state[sl] = 3
+                        if not rem:
+                            seq += 1
+                            heappush(heap, (wait_latest[dst], seq, dst))
+                    else:  # st == 1: posted by this rank, still running
+                        pr = post_rt[sl]
+                        aval[sl] = arrival if arrival > pr else pr
+                        state[sl] = 5
+            if ends_wait:
+                latest = now if now > lat else lat
+                remaining = 0
+                for pos, sl in recvs:
+                    st = state[sl]
+                    if st == 5:  # determined while running: fold and consume
+                        c2 = aval[sl]
+                        if c2 > latest:
+                            latest = c2
+                        state[sl] = 3
+                    elif st == 1:
+                        state[sl] = 4
+                        remaining += 1
+                seg_idx[rank] = i
+                rank_now[rank] = now
+                if remaining:
+                    wait_remaining[rank] = remaining
+                    wait_latest[rank] = latest
+                else:
+                    # Engine parity: an all-determined waitall still costs
+                    # one scheduled wake (and one sequence number).
+                    seq += 1
+                    heappush(heap, (latest, seq, rank))
+                break
+
+    if len(finished) != n:
+        raise DeadlockError(
+            f"simulation deadlocked; blocked processes: {_blocked_detail()}"
+        )
+    simulated = max(finished.values(), default=0.0)
+    return FastRunOutcome(
+        simulated, finished, plan.messages, plan.bytes_total, events,
+    )
+
+
 def execute_schedule(
     schedule: "Schedule",
     machine: "Machine",
@@ -650,14 +1100,38 @@ def execute_schedule(
     if max_events is not None and max_events <= 0:
         raise ValueError(f"max_events must be > 0, got {max_events}")
 
-    if model_contention and max_sim_time is None and max_events is None:
-        # Single-stage schedules take the fully batched cohort path; the
-        # generic interpreter below covers everything else (multi-stage
-        # schedules, watchdog budgets, analytic costing).
-        plan = batch_plan_for(schedule, machine)
-        if plan is not None:
-            return _execute_batch(plan)
+    if model_contention:
+        if max_sim_time is None and max_events is None:
+            # Single-stage schedules take the fully batched cohort path.
+            plan = batch_plan_for(schedule, machine)
+            if plan is not None:
+                return _execute_batch(plan)
+        # Everything else that is fully matched — multi-stage schedules,
+        # and watchdog-budgeted runs of any stage count — takes the
+        # heap-driven multi-stage executor.  The scalar interpreter
+        # remains for analytic costing and unmatched-receive deadlocks.
+        mplan = multi_plan_for(schedule, machine)
+        if mplan is not None:
+            return _execute_multi(mplan, max_sim_time, max_events)
+    return _interpret(schedule, machine, max_sim_time, max_events,
+                      model_contention)
 
+
+def _interpret(
+    schedule: "Schedule",
+    machine: "Machine",
+    max_sim_time: float | None,
+    max_events: int | None,
+    model_contention: bool,
+) -> FastRunOutcome:
+    """The scalar opcode interpreter — the fast path's reference tier.
+
+    Handles what the batched executors do not: analytic costing
+    (``model_contention=False``) and schedules with unmatched receives
+    (deadlock reporting with exact engine semantics).  It is also the
+    oracle the executor equivalence tests compare against, so it accepts
+    every schedule.
+    """
     segments, n_lanes = compiled_for(schedule, machine, model_contention)
     n = schedule.n_ranks
     call_overhead = machine.params.call_overhead

@@ -34,6 +34,8 @@ tolerance contract's measurable half (see docs/ARCHITECTURE.md).
 
 from __future__ import annotations
 
+import hashlib
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -71,6 +73,90 @@ class Schedule:
         return sum(
             1 for ops in self.ops if ops for op in ops if op[0] == "send"
         )
+
+
+def structural_digest(schedule: Schedule) -> str:
+    """Content digest of a schedule's op structure (cached on the object).
+
+    Two schedules with equal digests compile to identical fast-path plans on
+    the same machine: the digest covers the rank count and every rank's op
+    stream (kinds, endpoints, byte counts, tags, ``None`` ranks) — exactly
+    the compiler's inputs.  ``deliveries`` is excluded on purpose: it names
+    result-buffer contents, which no plan depends on.  This is the
+    schedule half of the compiled-plan cache key (the machine half is
+    :func:`repro.sim.plancache.machine_digest`), realizing the
+    isomorphic-neighborhood observation: sweep cells whose schedules are
+    structurally identical share one compilation.
+    """
+    digest = getattr(schedule, "_structural_digest", None)
+    if digest is None:
+        h = hashlib.blake2b(digest_size=16)
+        h.update(str(schedule.n_ranks).encode())
+        for ops in schedule.ops:
+            h.update(b"|N" if ops is None else repr(ops).encode())
+        digest = schedule._structural_digest = h.hexdigest()
+    return digest
+
+
+def spawn_wake_order(schedule: Schedule) -> tuple[int, ...]:
+    """The engine's deterministic stage-0 wake order, derived statically.
+
+    ``Engine.spawn_all`` walks ranks in order and schedules one t=0 event
+    (with the next sequence number) per rank whose program is not ``None``;
+    the heap therefore pops stage 0 in exactly this rank order.  Every
+    later wake order follows from the seq discipline — each waitall wake is
+    pushed with a monotonically increasing sequence number at the moment
+    its last pending receive is determined — which the fast path's
+    executors reproduce (see :mod:`repro.sim.fastpath`).
+    """
+    return tuple(
+        rank for rank, ops in enumerate(schedule.ops) if ops is not None
+    )
+
+
+def static_matching(schedule: Schedule):
+    """Cross-stage FIFO send/receive matching, resolved at compile time.
+
+    Engine matching is FIFO per ``(dst, src, tag)`` key on both sides:
+    posted receives and delivered sends each form a per-key queue, so the
+    k-th posted receive of a key always pairs with the k-th delivered send
+    of that key regardless of how posts and deliveries interleave.  Both
+    per-key orders are static — a key's sends all originate from one rank
+    and ranks execute their segments in program order — so the pairing is
+    a compile-time function of the schedule alone, valid across stage
+    boundaries.
+
+    Returns ``(send_slots, n_slots, fully_matched)``: receives are numbered
+    ("slots") in rank-major program order, ``send_slots[i]`` is the slot
+    matched by the i-th send in the same enumeration order (``-1`` when no
+    receive ever matches it — the engine parks such messages in the
+    unexpected table forever, with no timing effect), and ``fully_matched``
+    is False when some receive has no matching send (the run deadlocks;
+    the scalar interpreter reports it exactly).
+    """
+    recv_q: dict[tuple, deque] = {}
+    n_slots = 0
+    for rank, ops in enumerate(schedule.ops):
+        if not ops:
+            continue
+        for op in ops:
+            if op[0] == "recv":
+                key = (rank, op[1], op[2])
+                q = recv_q.get(key)
+                if q is None:
+                    recv_q[key] = q = deque()
+                q.append(n_slots)
+                n_slots += 1
+    send_slots: list[int] = []
+    for rank, ops in enumerate(schedule.ops):
+        if not ops:
+            continue
+        for op in ops:
+            if op[0] == "send":
+                q = recv_q.get((op[1], rank, op[3]))
+                send_slots.append(q.popleft() if q else -1)
+    fully_matched = not any(recv_q.values())
+    return send_slots, n_slots, fully_matched
 
 
 @dataclass
@@ -177,11 +263,17 @@ def contention_free(schedule: Schedule, machine: "Machine") -> bool:
     contract bounds (see docs/ARCHITECTURE.md).
 
     Memoized per ``(schedule, machine)`` identity — the analyzer walks
-    every send, and auto-mode runs consult it on every invocation.
+    every send, and auto-mode runs consult it on every invocation.  The
+    memo is *keyed* by machine (holding a strong reference, so an ``is``
+    check can never alias a recycled object id): alternating machines over
+    one schedule each keep their verdict instead of evicting each other.
     """
     cache = getattr(schedule, "_cf_cache", None)
-    if cache is not None and cache[0] is machine:
-        return cache[1]
+    if cache is None:
+        cache = schedule._cf_cache = {}
+    entry = cache.get(id(machine))
+    if entry is not None and entry[0] is machine:
+        return entry[1]
     verdict = all(r.contention_free for r in analyze_contention(schedule, machine))
-    schedule._cf_cache = (machine, verdict)
+    cache[id(machine)] = (machine, verdict)
     return verdict

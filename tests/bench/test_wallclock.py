@@ -91,6 +91,31 @@ class TestWallclockBench:
         with pytest.raises(ValueError, match="repeats"):
             wallclock_bench(scale=SMALL, repeats=0, smoke=True, out_path=None)
 
+    def test_profile_attaches_top_n_rows(self, tmp_path):
+        payload = wallclock_bench(
+            scale=SMALL, repeats=1, smoke=True, out_path=None,
+            baseline_path=tmp_path / "missing.json", profile=True,
+        )
+        for case in payload["cases"]:
+            rows = case["profile"]
+            assert 0 < len(rows) <= 15
+            # sorted by cumulative time, JSON-friendly shape
+            cums = [r["cumtime"] for r in rows]
+            assert cums == sorted(cums, reverse=True)
+            assert all({"function", "ncalls", "tottime", "cumtime"}
+                       <= set(r) for r in rows)
+
+    def test_payload_carries_plan_cache_stats(self, tmp_path):
+        payload = wallclock_bench(
+            scale=SMALL, repeats=2, smoke=True, out_path=None,
+            baseline_path=tmp_path / "missing.json",
+        )
+        stats = payload["plan_cache"]
+        assert {"hits", "misses", "evictions", "size", "max_entries",
+                "hit_rate"} <= set(stats)
+        # warm repeats within the harness itself must produce hits
+        assert stats["hits"] > 0
+
 
 class TestCli:
     def test_bench_wallclock_smoke(self, tmp_path, capsys):
@@ -107,3 +132,46 @@ class TestCli:
     def test_bench_without_figure_or_wallclock_errors(self, capsys):
         assert main(["bench"]) == 2
         assert "figure name is required" in capsys.readouterr().err
+
+    def test_profile_flag_prints_tables(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_sim_core.json"
+        assert main([
+            "bench", "--wallclock", "--smoke", "--scale", "small",
+            "--profile", "--out", str(out),
+        ]) == 0
+        assert "profile:" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert all("profile" in c for c in payload["cases"])
+
+    def test_speedup_gate_fails_when_unreachable(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_sim_core.json"
+        assert main([
+            "bench", "--wallclock", "--smoke", "--scale", "small",
+            "--out", str(out), "--min-speedup", "1e9",
+        ]) == 1
+        assert "below the required" in capsys.readouterr().err
+
+    def test_speedup_gate_needs_compared_cases(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_sim_core.json"
+        assert main([
+            "bench", "--wallclock", "--smoke", "--scale", "small",
+            "--sim-mode", "auto", "--out", str(out), "--min-speedup", "1",
+        ]) == 2
+        assert "compared cases" in capsys.readouterr().err
+
+    def test_plan_cache_gate(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_sim_core.json"
+        # repeats >= 2 warms the plan cache within the run, so a modest
+        # hit-rate floor passes...
+        assert main([
+            "bench", "--wallclock", "--smoke", "--scale", "small",
+            "--repeats", "3", "--out", str(out),
+            "--min-plan-cache-hit-rate", "0.01",
+        ]) == 0
+        capsys.readouterr()
+        # ...while an impossible floor trips the gate.
+        assert main([
+            "bench", "--wallclock", "--smoke", "--scale", "small",
+            "--out", str(out), "--min-plan-cache-hit-rate", "1.1",
+        ]) == 1
+        assert "plan-cache hit rate" in capsys.readouterr().err

@@ -8,8 +8,9 @@ These are the accuracy gates for ``sim_mode`` (see docs/ARCHITECTURE.md):
 * on fully contention-free schedules ``auto`` routes to the closed-form
   analytic costing, which must stay within
   :data:`~repro.sim.fastpath.ANALYTIC_RTOL` of the DES and never exceed it;
-* the single-stage batched executor must agree bit-for-bit with the
-  generic opcode interpreter (budgeted runs take the interpreter);
+* the single-stage batched executor and the multi-stage executor must
+  agree bit-for-bit with the generic opcode interpreter (which remains
+  the semantic reference and the fallback for unmatched-recv schedules);
 * watchdog budgets must trip on the same event with the same structured
   diagnostics in both paths.
 """
@@ -22,7 +23,13 @@ from repro.collectives.base import ExecutionContext, get_algorithm
 from repro.collectives.runner import RunOptions, run_allgather
 from repro.exec.spec import MachineSpec, TopologySpec
 from repro.sim.engine import SimTimeoutError
-from repro.sim.fastpath import ANALYTIC_RTOL, batch_plan_for, execute_schedule
+from repro.sim.fastpath import (
+    ANALYTIC_RTOL,
+    _interpret,
+    batch_plan_for,
+    execute_schedule,
+    multi_plan_for,
+)
 from repro.sim.faults import FaultPlan, Straggler
 from repro.sim.schedule import analyze_contention, contention_free
 
@@ -198,8 +205,8 @@ class TestAnalyticContract:
 
 
 class TestBatchExecutor:
-    """The single-stage batched executor must agree with the generic
-    interpreter bit-for-bit (budgeted runs exercise the interpreter)."""
+    """The batched executors (single-stage cohort tables, multi-stage
+    heap replay) must agree with the generic interpreter bit-for-bit."""
 
     def test_naive_single_stage_is_batch_eligible(self):
         topology, machine = _build(32, 2, 0.3, seed=1)
@@ -207,20 +214,30 @@ class TestBatchExecutor:
         schedule = _schedule_of(algorithm, topology, machine, 4096)
         assert batch_plan_for(schedule, machine) is not None
 
-    def test_multi_stage_is_not_batch_eligible(self):
+    def test_multi_stage_takes_the_multi_executor(self):
+        # Multi-stage schedules are ineligible for the single-stage cohort
+        # executor but compile to a multi-stage plan that replays the
+        # engine bit-for-bit (events included).
         topology, machine = _build(32, 2, 0.3, seed=1)
         algorithm = _setup("common_neighbor", {"k": 4}, topology, machine)
         schedule = _schedule_of(algorithm, topology, machine, 4096)
         assert batch_plan_for(schedule, machine) is None
+        plan = multi_plan_for(schedule, machine)
+        assert plan is not None
+        fast = execute_schedule(schedule, machine)
+        interp = _interpret(schedule, machine, None, None, True)
+        assert fast.simulated_time == interp.simulated_time
+        assert fast.finish_times == interp.finish_times
+        assert fast.events_processed == interp.events_processed
 
     def test_batch_matches_interpreter_bit_for_bit(self):
         topology, machine = _build(64, 4, 0.25, seed=6)
         algorithm = _setup("naive", {}, topology, machine)
         schedule = _schedule_of(algorithm, topology, machine, 8192)
         batched = execute_schedule(schedule, machine)
-        # A huge event budget disables the batch dispatch but can never
-        # trip, so this is the pure interpreter on the same schedule.
-        interp = execute_schedule(schedule, machine, max_events=10**9)
+        # The scalar opcode interpreter is the semantic reference; call it
+        # directly (budgeted dispatch now routes to the multi executor).
+        interp = _interpret(schedule, machine, None, None, True)
         assert batched.simulated_time == interp.simulated_time
         assert batched.finish_times == interp.finish_times
         assert batched.messages_sent == interp.messages_sent
